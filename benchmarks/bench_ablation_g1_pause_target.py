@@ -1,0 +1,52 @@
+"""A2 — Ablation: G1's MaxGCPauseMillis target on the Cassandra workload.
+
+Sweeps the pause target from 50 ms to 1 s. G1 sizes its young generation
+to meet the target, trading pause length against pause frequency; the
+total pause time is roughly conserved until the target becomes
+unreachable (fixed per-collection costs dominate at tiny targets).
+"""
+
+from repro import GB, JVM, JVMConfig
+from repro.analysis.report import render_table
+from repro.cassandra import CassandraServer, stress_config
+
+from common import emit, once, quick_or_full
+
+TARGETS = quick_or_full((0.05, 0.2, 1.0), (0.05, 0.1, 0.2, 0.5, 1.0))
+SEED = 3
+DURATION = quick_or_full(3600.0, 7200.0)
+
+
+def run_experiment():
+    out = {}
+    for target in TARGETS:
+        jvm = JVM(JVMConfig(gc="G1", heap=64 * GB, young=12 * GB, seed=SEED,
+                            pause_target=target))
+        server = CassandraServer(stress_config(64 * GB, preload_records=8_000_000))
+        out[target] = jvm.run(server, duration=DURATION, ops_per_second=1350.0)
+    return out
+
+
+def test_ablation_g1_pause_target(benchmark):
+    runs = once(benchmark, run_experiment)
+    rows = []
+    for target, r in runs.items():
+        log = r.gc_log
+        rows.append((
+            int(target * 1000),
+            log.count,
+            round(log.avg_pause, 3),
+            round(log.max_pause, 2),
+            round(log.total_pause, 1),
+        ))
+    text = render_table(
+        ["target (ms)", "#pauses", "avg pause (s)", "max (s)", "total pause (s)"],
+        rows,
+        title="Ablation A2 — G1 pause-target sweep on Cassandra",
+    )
+    emit("ablation_g1_pause_target", text)
+
+    lo, hi = runs[min(TARGETS)], runs[max(TARGETS)]
+    # A tighter target means more, shorter collections.
+    assert lo.gc_log.count > hi.gc_log.count
+    assert lo.gc_log.avg_pause < hi.gc_log.avg_pause

@@ -1,0 +1,59 @@
+"""A4 — Ablation: GC thread-count scaling (Gidra-style).
+
+The paper cites Gidra et al.'s finding that the HotSpot collectors do not
+scale with the number of GC threads on this class of NUMA machine. This
+sweep measures a fixed ParallelOld young collection under 1-48 GC
+threads: speedup saturates around a handful of threads and decays once
+the pool spans NUMA nodes.
+"""
+
+import numpy as np
+
+from repro.gc import create_collector
+from repro.analysis.report import render_table
+from repro.heap.heap import GenerationalHeap, HeapConfig
+from repro.machine.costs import CostModel
+from repro.units import GB, MB
+
+from common import emit, once, quick_or_full
+
+THREADS = quick_or_full((1, 2, 4, 8, 16, 33, 48), (1, 2, 4, 6, 8, 12, 16, 24, 33, 48))
+
+
+def young_pause(n_threads: int) -> float:
+    heap = GenerationalHeap(
+        HeapConfig(heap_bytes=16 * GB, young_bytes=5.6 * GB),
+        n_mutator_threads=48,
+    )
+    collector = create_collector(
+        "ParallelOld", heap, CostModel(),
+        gc_threads=n_threads, rng=np.random.default_rng(0),
+    )
+    collector.noise = 0.0
+    heap.allocate(0.0, 400 * MB, None, pinned=True)  # fixed survivor volume
+    outcome = collector.allocation_failure(1.0)
+    return outcome.pauses[0].duration
+
+
+def run_experiment():
+    return {n: young_pause(n) for n in THREADS}
+
+
+def test_ablation_gc_threads(benchmark):
+    pauses = once(benchmark, run_experiment)
+    base = pauses[1]
+    rows = [(n, round(t, 3), round(base / t, 2)) for n, t in pauses.items()]
+    text = render_table(
+        ["GC threads", "young pause (s)", "speedup vs 1 thread"],
+        rows,
+        title="Ablation A4 — ParallelOld young-GC thread scaling (400 MB survivors)",
+    )
+    emit("ablation_gc_threads", text)
+
+    speedups = {n: base / t for n, t in pauses.items()}
+    # Parallelism helps at first...
+    assert speedups[8] > speedups[2] > 0.9
+    # ...but saturates far below linear (Gidra et al.: GCs do not scale).
+    assert speedups[48] < 4.0
+    # and 48 threads are no better than 16 (NUMA penalty).
+    assert speedups[48] <= speedups[16] * 1.1

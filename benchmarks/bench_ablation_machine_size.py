@@ -1,0 +1,88 @@
+"""A5 — Ablation: does the machine size change the paper's conclusions?
+
+The paper's results come from one 48-core NUMA box. This ablation reruns
+the headline xalan comparison on three machines — an 8-core single-node
+desktop, a 24-core two-socket server, and the paper's 48-core four-socket
+box — to see which findings are machine-dependent.
+
+Expected shape: G1's forced-full-GC penalty (a structural JDK 8 fact) is
+machine-independent. Less obviously, the serial-vs-parallel gap *widens*
+on the small box: 8 GC threads on a single NUMA node parallelize almost
+ideally, whereas 33 threads spread over 8 NUMA nodes waste most of their
+parallelism on remote accesses (Gidra et al.'s point — NUMA, not core
+count, is what breaks GC scaling).
+"""
+
+from repro import JVM, JVMConfig, MachineTopology
+from repro.analysis.report import render_table
+from repro.units import GB
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+TOPOLOGIES = {
+    "8-core desktop": MachineTopology(
+        name="desktop", sockets=1, numa_nodes_per_socket=1,
+        cores_per_numa_node=8, ram_bytes=32 * GB,
+    ),
+    "24-core 2-socket": MachineTopology(
+        name="mid", sockets=2, numa_nodes_per_socket=2,
+        cores_per_numa_node=6, ram_bytes=64 * GB,
+    ),
+    "48-core 4-socket (paper)": MachineTopology(
+        name="paper-48core", sockets=4, numa_nodes_per_socket=2,
+        cores_per_numa_node=6, ram_bytes=64 * GB,
+    ),
+}
+GCS = ("SerialGC", "ParallelOldGC", "G1GC")
+SEEDS = quick_or_full((1, 2, 3), (1, 2, 3, 4, 5))
+
+
+def median_run(topology, gc):
+    import numpy as np
+
+    execs, maxima = [], []
+    for seed in SEEDS:
+        cfg = JVMConfig(gc=gc, heap=16 * GB, young=5.6 * GB,
+                        topology=topology, seed=seed)
+        r = JVM(cfg).run(get_benchmark("xalan"), iterations=10, system_gc=True)
+        execs.append(r.execution_time)
+        maxima.append(r.gc_log.max_pause)
+    return float(np.median(execs)), float(np.median(maxima))
+
+
+def run_experiment():
+    return {
+        (machine, gc): median_run(topology, gc)
+        for machine, topology in TOPOLOGIES.items()
+        for gc in GCS
+    }
+
+
+def test_ablation_machine_size(benchmark):
+    results = once(benchmark, run_experiment)
+    rows = []
+    for machine in TOPOLOGIES:
+        for gc in GCS:
+            exec_t, max_p = results[(machine, gc)]
+            rows.append((machine, gc, round(exec_t, 2), round(max_p, 3)))
+    text = render_table(
+        ["machine", "GC", "xalan exec (s)", "max pause (s)"],
+        rows,
+        title="Ablation A5 — machine-size sweep (xalan, System.gc() on)",
+    )
+    emit("ablation_machine_size", text)
+
+    # G1's structural penalty holds on every machine.
+    for machine in TOPOLOGIES:
+        g1 = results[(machine, "G1GC")][0]
+        po = results[(machine, "ParallelOldGC")][0]
+        assert g1 > 1.1 * po, machine
+    # Parallel collection is *relatively* stronger on the single-NUMA-node
+    # box: Serial's handicap vs ParallelOld is larger at 8 cores than at
+    # 48 (where NUMA eats the parallel speedup).
+    ratio8 = (results[("8-core desktop", "SerialGC")][0]
+              / results[("8-core desktop", "ParallelOldGC")][0])
+    ratio48 = (results[("48-core 4-socket (paper)", "SerialGC")][0]
+               / results[("48-core 4-socket (paper)", "ParallelOldGC")][0])
+    assert ratio8 > ratio48

@@ -1,0 +1,61 @@
+"""A1 — Ablation: how much of the GC cost comes from NUMA effects?
+
+DESIGN.md models two NUMA terms after Gidra et al.: the per-node
+efficiency penalty on parallel phases (``numa_gamma``) and the
+heap-spread locality drag (``locality_k``). This ablation switches them
+off and reruns the critical ParallelOld Cassandra full GC: without the
+NUMA terms, the "4-minute" full GC collapses to tens of seconds —
+i.e. the paper's headline pause is primarily a NUMA/locality phenomenon,
+not a live-set-size one.
+"""
+
+import dataclasses
+
+from repro import GB, JVM, JVMConfig
+from repro.analysis.report import render_table
+from repro.cassandra import CassandraServer, stress_config
+
+from common import emit, once
+
+SEED = 3
+
+
+def run_one(numa_on: bool):
+    jvm = JVM(JVMConfig(gc="ParallelOld", heap=64 * GB, young=12 * GB, seed=SEED))
+    if not numa_on:
+        jvm.costs = dataclasses.replace(jvm.costs, numa_gamma=0.0, locality_k=0.0)
+        jvm.collector.costs = jvm.costs
+        jvm.world.costs = jvm.costs
+    server = CassandraServer(stress_config(64 * GB, preload_records=8_000_000))
+    return jvm.run(server, duration=7200.0, ops_per_second=1350.0)
+
+
+def run_experiment():
+    return {"numa": run_one(True), "no-numa": run_one(False)}
+
+
+def test_ablation_numa(benchmark):
+    runs = once(benchmark, run_experiment)
+    rows = []
+    for name, r in runs.items():
+        fulls = [p.duration for p in r.gc_log.pauses if p.is_full]
+        youngs = [p.duration for p in r.gc_log.pauses if not p.is_full]
+        rows.append((
+            name,
+            round(max(fulls), 1) if fulls else "-",
+            round(max(youngs), 1) if youngs else "-",
+            round(r.gc_log.total_pause, 1),
+        ))
+    text = render_table(
+        ["model", "max full GC (s)", "max young (s)", "total pause (s)"],
+        rows,
+        title="Ablation A1 — NUMA terms on/off, ParallelOld Cassandra stress",
+    )
+    emit("ablation_numa", text)
+
+    with_numa = runs["numa"].gc_log
+    without = runs["no-numa"].gc_log
+    # The NUMA terms are responsible for the bulk of the pause cost.
+    assert with_numa.total_pause > 2.0 * without.total_pause
+    if with_numa.full_count and without.full_count:
+        assert with_numa.max_pause > 2.0 * without.max_pause

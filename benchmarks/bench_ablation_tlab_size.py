@@ -1,0 +1,56 @@
+"""A3 — Ablation: fixed TLAB size sweep on xalan.
+
+DESIGN.md calls out the TLAB space/time trade-off: larger buffers cut
+refill synchronization but strand more eden space per thread (up to the
+waste cap), pulling young collections forward. This sweep quantifies
+both ends against HotSpot's adaptive sizing.
+"""
+
+from repro import JVM, baseline_config
+from repro.analysis.report import render_table
+from repro.heap.tlab import TLABConfig
+from repro.units import KB, MB
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+SIZES = quick_or_full(
+    [None, 64 * KB, 1 * MB, 16 * MB],
+    [None, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB],
+)
+SEED = 1
+
+
+def run_experiment():
+    out = {}
+    for size in SIZES:
+        cfg = baseline_config(seed=SEED, tlab=TLABConfig(enabled=True, size=size))
+        jvm = JVM(cfg)
+        result = jvm.run(get_benchmark("xalan"), iterations=10, system_gc=False)
+        out[size] = (result, jvm.heap.tlabs.tlab_size, jvm.heap.tlabs.expected_waste)
+    return out
+
+
+def test_ablation_tlab_size(benchmark):
+    runs = once(benchmark, run_experiment)
+    rows = []
+    for size, (result, effective, waste) in runs.items():
+        rows.append((
+            "adaptive" if size is None else f"{size / KB:g}K",
+            f"{effective / KB:.0f}K",
+            f"{waste / MB:.1f}M",
+            result.gc_log.count,
+            round(result.execution_time, 2),
+        ))
+    text = render_table(
+        ["TLABSize", "effective", "eden waste", "#GCs", "exec (s)"],
+        rows,
+        title="Ablation A3 — TLAB size sweep, xalan (no system GC)",
+    )
+    emit("ablation_tlab_size", text)
+
+    # Huge TLABs waste eden (waste cap) and never run fewer collections.
+    biggest = runs[16 * MB]
+    adaptive = runs[None]
+    assert biggest[2] >= adaptive[2]
+    assert biggest[0].gc_log.count >= adaptive[0].gc_log.count

@@ -1,0 +1,80 @@
+"""E7 — §4.1: ParallelOld on Cassandra (server-side pauses).
+
+Three runs, mirroring the paper:
+
+1. **default configuration, 1 hour** of loading — no full GC, but young
+   collections with peak pauses in the tens of seconds (paper: ~17 s);
+2. **default configuration, 2 hours** — one full GC of minutes (paper:
+   >160 s), young pauses up to ~25 s;
+3. **stress configuration, 2 hours** (memtable/commitlog sized like the
+   heap, pre-loaded database replayed at startup) — a full GC of
+   "around 4 minutes".
+"""
+
+from repro import GB, JVM, JVMConfig
+from repro.analysis.report import render_table
+from repro.cassandra import CassandraServer, default_config, stress_config
+
+from common import emit, once, quick_or_full
+
+SEED = 3
+OPS_DEFAULT = 2600.0
+OPS_STRESS = 1350.0
+HOUR = 3600.0
+
+
+def run_one(cassandra_config, duration, ops):
+    jvm = JVM(JVMConfig(gc="ParallelOld", heap=64 * GB, young=12 * GB, seed=SEED))
+    server = CassandraServer(cassandra_config)
+    result = jvm.run(server, duration=duration, ops_per_second=ops)
+    return result
+
+
+def run_experiment():
+    return {
+        "default-1h": run_one(default_config(64 * GB), HOUR, OPS_DEFAULT),
+        "default-2h": run_one(default_config(64 * GB), 2 * HOUR, OPS_DEFAULT),
+        "stress-2h": run_one(
+            stress_config(64 * GB, preload_records=8_000_000), 2 * HOUR, OPS_STRESS
+        ),
+    }
+
+
+def test_cassandra_parallelold(benchmark):
+    runs = once(benchmark, run_experiment)
+    rows = []
+    for name, r in runs.items():
+        young = [p.duration for p in r.gc_log.pauses if not p.is_full]
+        fulls = [p.duration for p in r.gc_log.pauses if p.is_full]
+        rows.append((
+            name,
+            r.gc_log.count,
+            len(fulls),
+            round(max(young), 1) if young else 0,
+            round(max(fulls), 1) if fulls else "-",
+            round(r.execution_time, 0),
+        ))
+    text = render_table(
+        ["run", "#pauses", "#full", "young max (s)", "full max (s)", "exec (s)"],
+        rows,
+        title="§4.1 — ParallelOld on Cassandra (server side)",
+    )
+    emit("cassandra_parallelold", text)
+
+    one_hour, two_hours, stress = (
+        runs["default-1h"], runs["default-2h"], runs["stress-2h"]
+    )
+    # "The shorter test case ends up with no full GC; nonetheless the
+    # collection of the Young Generation reaches a peak pause of around
+    # 17 seconds."
+    assert one_hour.gc_log.full_count == 0
+    young_1h = max(p.duration for p in one_hour.gc_log.pauses)
+    assert young_1h > 8.0
+    # "[2 hours] resulted in a full GC that stopped the application
+    # threads for more than 160 seconds" (we accept minutes-long).
+    assert two_hours.gc_log.full_count >= 1
+    assert two_hours.gc_log.max_pause > 100.0
+    # "This experiment results in a full GC lasting around 4 minutes."
+    assert stress.gc_log.full_count >= 1
+    stress_full = max(p.duration for p in stress.gc_log.pauses if p.is_full)
+    assert 120.0 < stress_full < 600.0

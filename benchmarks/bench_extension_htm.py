@@ -1,0 +1,83 @@
+"""X1 — Extension: the evaluation the paper *planned* (§6, future work).
+
+"Further on, we plan to implement and thoroughly test a garbage collector
+that uses HTM ... We aim to repeat this evaluation of the GC impact on
+application execution and compare the new approach to the current
+available GCs."
+
+This bench runs exactly that comparison: the HTM collector
+(:class:`repro.gc.htm.HTMGC`, modelled on StackTrack/Collie) against the
+six stock collectors on both of the paper's environments — a DaCapo
+benchmark with forced full GCs (the stock collectors' worst case for
+pauses) and the Cassandra stress test (ParallelOld's minutes-long full
+GC). Expected outcome, per the literature the paper cites: pauses shrink
+to milliseconds while throughput drops by a visible tax.
+"""
+
+import numpy as np
+
+from repro import GB, JVM, JVMConfig, baseline_config
+from repro.analysis.report import render_table
+from repro.cassandra import CassandraServer, stress_config
+from repro.gc import GC_NAMES
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+COLLECTORS = list(GC_NAMES) + ["HTMGC"]
+SEEDS = quick_or_full((1, 2, 3), (1, 2, 3, 4, 5))
+
+
+def dacapo_runs():
+    out = {}
+    for gc in COLLECTORS:
+        execs, max_pauses = [], []
+        for seed in SEEDS:
+            jvm = JVM(baseline_config(gc=gc, seed=seed))
+            r = jvm.run(get_benchmark("xalan"), iterations=10, system_gc=True)
+            execs.append(r.execution_time)
+            max_pauses.append(r.gc_log.max_pause)
+        out[gc] = (float(np.median(execs)), float(np.median(max_pauses)))
+    return out
+
+
+def cassandra_runs():
+    out = {}
+    for gc in ("ParallelOldGC", "G1GC", "HTMGC"):
+        jvm = JVM(JVMConfig(gc=gc, heap=64 * GB, young=12 * GB, seed=3))
+        server = CassandraServer(stress_config(64 * GB, preload_records=8_000_000))
+        r = jvm.run(server, duration=7200.0, ops_per_second=1350.0)
+        out[gc] = (r.gc_log.max_pause, r.gc_log.total_pause, r.gc_log.full_count)
+    return out
+
+
+def run_experiment():
+    return dacapo_runs(), cassandra_runs()
+
+
+def test_extension_htm(benchmark):
+    dacapo, cassandra = once(benchmark, run_experiment)
+    lines = [render_table(
+        ["GC", "xalan exec (s)", "max pause (ms)"],
+        [(gc, round(t, 2), round(p * 1000, 1)) for gc, (t, p) in dacapo.items()],
+        title="Future-work comparison — xalan, System.gc() per iteration",
+    ), ""]
+    lines.append(render_table(
+        ["GC", "max pause (s)", "total pause (s)", "#full GCs"],
+        [(gc, round(mx, 3), round(tot, 1), n) for gc, (mx, tot, n) in cassandra.items()],
+        title="Future-work comparison — Cassandra stress test (2 h)",
+    ))
+    emit("extension_htm", "\n".join(lines))
+
+    # Pauses collapse to milliseconds...
+    assert dacapo["HTMGC"][1] < 0.02
+    assert all(dacapo[gc][1] > 0.1 for gc in GC_NAMES)
+    assert cassandra["HTMGC"][0] < 0.05
+    assert cassandra["ParallelOldGC"][0] > 100.0
+    # ...at a visible throughput cost relative to the best stock collector
+    # on its home turf, but still competitive (no full-GC bill to pay).
+    best_stock = min(dacapo[gc][0] for gc in GC_NAMES)
+    assert dacapo["HTMGC"][0] > 0.8 * best_stock
+    # On Cassandra the HTM collector removes the unacceptable pauses the
+    # paper's conclusion warns about.
+    assert cassandra["HTMGC"][2] == 0

@@ -1,0 +1,58 @@
+"""X2 — Extension: SPECjbb-style throughput ranking of the collectors.
+
+The paper's class of study is usually run on DaCapo *and* SPECjbb-family
+workloads; this bench adds the SPECjbb lens: a closed-loop, CPU-bound
+transaction mix where every GC pause and concurrent steal is lost
+throughput. It ranks all six stock collectors plus the HTM extension by
+SPECjbb score (mean BOPS at cores..2xcores warehouses) and reports the
+GC time absorbed at peak load.
+"""
+
+from repro import JVM, baseline_config
+from repro.analysis.report import render_table
+from repro.gc import GC_NAMES
+from repro.workloads.specjbb import SPECjbbWorkload
+
+from common import emit, once, quick_or_full
+
+COLLECTORS = list(GC_NAMES) + ["HTMGC"]
+MEASURE = quick_or_full(15.0, 30.0)
+WAREHOUSES = quick_or_full([1, 24, 48, 96], [1, 2, 12, 24, 48, 72, 96])
+
+
+def run_experiment():
+    out = {}
+    for gc in COLLECTORS:
+        jvm = JVM(baseline_config(gc=gc, seed=5))
+        result = jvm.run(SPECjbbWorkload(), warehouses=WAREHOUSES,
+                         measurement_seconds=MEASURE)
+        out[gc] = result.extras
+    return out
+
+
+def test_extension_specjbb(benchmark):
+    results = once(benchmark, run_experiment)
+    rows = []
+    for gc, extras in sorted(results.items(), key=lambda kv: -kv[1]["score"]):
+        peak = max(extras["points"], key=lambda p: p.bops)
+        rows.append((
+            gc,
+            round(extras["score"]),
+            round(peak.bops),
+            peak.warehouses,
+            f"{100 * peak.gc_pause_seconds / peak.elapsed:.1f}%",
+        ))
+    text = render_table(
+        ["GC", "score (BOPS)", "peak BOPS", "peak warehouses", "GC time at peak"],
+        rows,
+        title="SPECjbb-style collector ranking (paper-class extension)",
+    )
+    emit("extension_specjbb", text)
+
+    scores = {gc: results[gc]["score"] for gc in COLLECTORS}
+    # The throughput collector family leads a throughput benchmark.
+    assert scores["ParallelOldGC"] > scores["SerialGC"]
+    # Every collector scales past a single warehouse.
+    for gc, extras in results.items():
+        points = {p.warehouses: p.bops for p in extras["points"]}
+        assert points[48] > 5 * points[1], gc

@@ -1,0 +1,71 @@
+"""E2 — Figure 1: GC pause time for xalan, with and without System.gc().
+
+Regenerates the (execution time, pause duration) scatter for every
+collector under the baseline configuration.
+
+Paper shapes: with a forced full GC per iteration (a) G1's pauses are the
+longest (and its run the longest, ~25 % over the others); without (b)
+there are only young pauses, SerialGC performs worst, and G1 shows only
+one mid-run marking-related pause group.
+"""
+
+import numpy as np
+
+from repro import JVM, baseline_config
+from repro.analysis.pauses import pause_scatter
+from repro.analysis.ascii_plot import scatter_plot
+from repro.analysis.report import render_series, render_table
+from repro.gc import GC_NAMES
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+SEED = quick_or_full(1, 1)
+
+
+def run_experiment():
+    out = {}
+    for system_gc in (True, False):
+        for gc in GC_NAMES:
+            jvm = JVM(baseline_config(gc=gc, seed=SEED))
+            result = jvm.run(get_benchmark("xalan"), iterations=10,
+                             system_gc=system_gc)
+            out[(system_gc, gc)] = result
+    return out
+
+
+def test_fig1_xalan_pauses(benchmark):
+    results = once(benchmark, run_experiment)
+    lines = []
+    for system_gc in (True, False):
+        label = "(a) System GC" if system_gc else "(b) No System GC"
+        lines.append(f"Figure 1{label} — pause scatter (x=time s, y=pause s)")
+        rows = []
+        for gc in GC_NAMES:
+            r = results[(system_gc, gc)]
+            xs, ys = pause_scatter(r.gc_log)
+            lines.append(render_series(xs, ys, label=f"  {gc}", max_points=14))
+            rows.append((gc, round(r.execution_time, 2), r.gc_log.count,
+                         round(r.gc_log.max_pause, 3)))
+        lines.append(render_table(
+            ["GC", "exec (s)", "#pauses", "max pause (s)"], rows))
+        lines.append("")
+        lines.append(scatter_plot(
+            {gc: (results[(system_gc, gc)].gc_log.starts(),
+                  results[(system_gc, gc)].gc_log.durations())
+             for gc in GC_NAMES},
+            title=f"Figure 1{label} — rendered",
+            x_label="execution time (s)", y_label="pause (s)", height=14,
+        ))
+        lines.append("")
+    emit("fig1_xalan_pauses", "\n".join(lines))
+
+    # Shape assertions (paper §3.3).
+    sysgc = {gc: results[(True, gc)] for gc in GC_NAMES}
+    max_pauses = {gc: r.gc_log.max_pause for gc, r in sysgc.items()}
+    assert max(max_pauses, key=max_pauses.get) == "G1GC"
+    no_sysgc = {gc: results[(False, gc)] for gc in GC_NAMES}
+    assert all(r.gc_log.full_count == 0 for r in no_sysgc.values())
+    # Without System.gc() the pause ceiling drops for the non-G1 GCs.
+    for gc in GC_NAMES:
+        assert no_sysgc[gc].gc_log.count >= 1

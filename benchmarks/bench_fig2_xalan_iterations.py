@@ -1,0 +1,63 @@
+"""E3 — Figure 2: per-iteration execution time for xalan (iterations 4-10).
+
+Paper shapes: with System.gc() per iteration (a), G1 is clearly slowest
+and ParallelGC second slowest (their full collections are serial), with
+ParallelOld fastest in the final iteration; without (b), all collectors
+land close together.
+"""
+
+import numpy as np
+
+from repro import JVM, baseline_config
+from repro.analysis.report import render_table
+from repro.gc import GC_NAMES
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+SEEDS = quick_or_full((1, 2, 3), (1, 2, 3, 4, 5))
+
+
+def run_experiment():
+    out = {}
+    for system_gc in (True, False):
+        for gc in GC_NAMES:
+            per_iteration = []
+            for seed in SEEDS:
+                jvm = JVM(baseline_config(gc=gc, seed=seed))
+                r = jvm.run(get_benchmark("xalan"), iterations=10,
+                            system_gc=system_gc)
+                per_iteration.append(r.iteration_times)
+            out[(system_gc, gc)] = np.median(np.array(per_iteration), axis=0)
+    return out
+
+
+def test_fig2_xalan_iterations(benchmark):
+    results = once(benchmark, run_experiment)
+    lines = []
+    for system_gc in (True, False):
+        label = "(a) System GC" if system_gc else "(b) No System GC"
+        lines.append(f"Figure 2{label} — iteration durations (s), iterations 4-10")
+        rows = []
+        for gc in GC_NAMES:
+            iters = results[(system_gc, gc)]
+            rows.append([gc] + [round(t, 3) for t in iters[3:]])
+        lines.append(render_table(
+            ["GC"] + [f"it{i}" for i in range(4, 11)], rows))
+        lines.append("")
+    emit("fig2_xalan_iterations", "\n".join(lines))
+
+    finals_sysgc = {gc: results[(True, gc)][-1] for gc in GC_NAMES}
+    assert max(finals_sysgc, key=finals_sysgc.get) == "G1GC"
+    ranked = sorted(finals_sysgc, key=finals_sysgc.get)
+    assert ranked[-2] == "ParallelGC"
+    # ParallelOld sits in the fast group on the final iteration (the
+    # paper's single run showed it strictly first).
+    assert finals_sysgc["ParallelOldGC"] < finals_sysgc["SerialGC"]
+    # Without System.gc() the spread collapses (paper: "all GCs perform
+    # similarly in this case").
+    finals_no = np.array([results[(False, gc)][-1] for gc in GC_NAMES])
+    spread_no = finals_no.max() / finals_no.min()
+    finals_with = np.array(list(finals_sysgc.values()))
+    spread_with = finals_with.max() / finals_with.min()
+    assert spread_no < spread_with

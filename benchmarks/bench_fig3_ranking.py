@@ -1,0 +1,79 @@
+"""E6 — Figure 3: GC ranking by the number of experiments won.
+
+An *experiment* is (benchmark, heap size, young size); the GC with the
+shortest total execution time wins. The paper varies the heap from the
+16 GB baseline up to the machine's 64 GB and the young generation from
+the baseline up to the heap, with the system GC enabled (a) and
+disabled (b).
+
+Paper shapes: with System.gc() (a), G1 wins **zero** experiments (no bar)
+and ParallelOld contributes >20 % of wins; without (b), G1 appears but
+stays last and ParallelOld leads at almost 30 %.
+"""
+
+from repro import GB, JVM, JVMConfig
+from repro.analysis.ranking import rank_by_wins
+from repro.analysis.report import render_table
+from repro.gc import GC_NAMES
+from repro.workloads.dacapo import STABLE_SUBSET, get_benchmark
+
+from common import emit, once, quick_or_full
+
+#: (heap, young) grid: baseline -> machine RAM, young -> heap.
+GRID = quick_or_full(
+    [(16 * GB, 5.6 * GB), (32 * GB, 5.6 * GB), (64 * GB, 5.6 * GB),
+     (64 * GB, 12 * GB), (64 * GB, 24 * GB)],
+    [(16 * GB, 5.6 * GB), (32 * GB, 5.6 * GB), (32 * GB, 16 * GB),
+     (64 * GB, 5.6 * GB), (64 * GB, 12 * GB), (64 * GB, 24 * GB),
+     (64 * GB, 48 * GB)],
+)
+ITERATIONS = quick_or_full(10, 10)
+SEED = 0
+
+
+def run_experiment():
+    results = {}
+    for system_gc in (True, False):
+        experiments = {}
+        for name in STABLE_SUBSET:
+            for heap, young in GRID:
+                times = {}
+                for gc in GC_NAMES:
+                    jvm = JVM(JVMConfig(gc=gc, heap=heap, young=young, seed=SEED))
+                    r = jvm.run(get_benchmark(name), iterations=ITERATIONS,
+                                system_gc=system_gc)
+                    if not r.crashed:
+                        times[gc] = r.execution_time
+                experiments[(name, heap, young)] = times
+        results[system_gc] = rank_by_wins(experiments)
+    return results
+
+
+def test_fig3_ranking(benchmark):
+    results = once(benchmark, run_experiment)
+    lines = []
+    for system_gc in (True, False):
+        label = "(a) System GC" if system_gc else "(b) No System GC"
+        ranking = results[system_gc]
+        lines.append(f"Figure 3{label} — % of experiments won "
+                     f"({ranking.total_experiments} experiments)")
+        lines.append(render_table(
+            ["GC", "% of experiments"],
+            [(gc, round(pct, 1)) for gc, pct in ranking.ordered()],
+        ))
+        lines.append("")
+    emit("fig3_ranking", "\n".join(lines))
+
+    with_sysgc = results[True]
+    without = results[False]
+    # (a) G1 wins nothing when full GCs are forced.
+    assert with_sysgc.percentage("G1GC") == 0.0
+    # ParallelOld performs well in both cases (paper: >20 % / ~30 %).
+    assert with_sysgc.percentage("ParallelOldGC") >= 20.0
+    assert without.percentage("ParallelOldGC") >= 20.0
+    # Several non-G1 collectors win experiments (five bars in the paper).
+    assert sum(1 for _gc, pct in with_sysgc.ordered() if pct > 0) >= 3
+    assert sum(1 for _gc, pct in without.ordered() if pct > 0) >= 5
+    # (b) G1 may win something but stays at the bottom.
+    g1_pct = without.percentage("G1GC")
+    assert all(g1_pct <= without.percentage(gc) for gc in GC_NAMES)

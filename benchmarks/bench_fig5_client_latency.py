@@ -1,0 +1,79 @@
+"""E9 — Figure 5: client response time for the three GC strategies.
+
+Runs the paper's custom 50 % read / 50 % update YCSB workload against the
+Cassandra server for two hours under ParallelOld, CMS and G1, records
+>1 M operation latencies per run, and prints the highest-latency points
+(the paper plots the top 10 000) together with the server pause trace.
+
+Paper shapes: most points follow a low constant latency line (updates
+constant, reads stepping up as SSTables accumulate); the spikes coincide
+with GC pauses.
+"""
+
+import numpy as np
+
+from repro import GB, JVMConfig
+from repro.analysis.latency import gc_overlap_fraction
+from repro.analysis.report import render_series, render_table
+from repro.cassandra import default_config
+from repro.ycsb import WORKLOAD_A_LIKE, YCSBClient
+
+from common import emit, once, quick_or_full
+
+DURATION = quick_or_full(7200.0, 7200.0)
+SEED = 7
+
+
+def run_experiment():
+    out = {}
+    for gc in ("ParallelOld", "CMS", "G1"):
+        client = YCSBClient(WORKLOAD_A_LIKE, seed=SEED)
+        out[gc] = client.run(
+            JVMConfig(gc=gc, heap=64 * GB, young=12 * GB, seed=SEED),
+            default_config(64 * GB),
+            duration=DURATION,
+        )
+    return out
+
+
+def test_fig5_client_latency(benchmark):
+    runs = once(benchmark, run_experiment)
+    lines = []
+    rows = []
+    for gc, cr in runs.items():
+        lines.append(f"Figure 5 — {gc}: top-latency points (x=s, y=ms)")
+        xs, ys = cr.top_points(10_000)
+        lines.append(render_series(xs, ys, label=f"  {gc} peaks", max_points=14))
+        overlap = gc_overlap_fraction(cr.op_times, cr.latencies_ms,
+                                      cr.pause_intervals)
+        rows.append((
+            gc, len(cr.latencies_ms),
+            round(float(cr.reads.latencies_ms.mean()), 3),
+            round(float(cr.updates.latencies_ms.mean()), 3),
+            round(float(cr.latencies_ms.max()), 1),
+            f"{100 * overlap:.1f}%",
+        ))
+    lines.append(render_table(
+        ["GC", "#ops", "READ avg (ms)", "UPDATE avg (ms)", "max (ms)",
+         ">2x-avg ops during GC"],
+        rows,
+    ))
+    emit("fig5_client_latency", "\n".join(lines))
+
+    for gc, cr in runs.items():
+        # >1 M points per run, like the paper.
+        assert len(cr.latencies_ms) > 1_000_000, gc
+        # Observation 2: the peaks are the GC pauses.
+        overlap = gc_overlap_fraction(cr.op_times, cr.latencies_ms,
+                                      cr.pause_intervals, threshold_factor=4.0)
+        assert overlap > 0.95, gc
+        # Observation 1: updates follow a constant low-latency line.
+        u = cr.updates.latencies_ms
+        bulk = u[u < np.percentile(u, 95)]
+        assert bulk.std() / bulk.mean() < 0.5, gc
+    # Reads step up over time (SSTable accumulation): later reads slower.
+    reads = runs["ParallelOld"].reads
+    base = reads.latencies_ms[reads.latencies_ms < np.percentile(reads.latencies_ms, 90)]
+    times = reads.op_times[reads.latencies_ms < np.percentile(reads.latencies_ms, 90)]
+    first, last = base[times < times.mean()], base[times >= times.mean()]
+    assert last.mean() > first.mean()

@@ -1,0 +1,71 @@
+"""E1 — Table 2: benchmark-selection relative standard deviations.
+
+Runs every DaCapo benchmark repeatedly under the paper's baseline
+configuration (ParallelOld, ~16 GB heap, ~5.6 GB young, system GC on) and
+reports the RSD of the final iteration and of the total execution time.
+
+Paper values (Table 2): h2 1.8/1.2, tomcat 1.8/1.2, xalan 6.4/4.2,
+jython 5/3, pmd 1.1/0.8, luindex 2.8/4, batik 11.2/3.6 (%); eclipse,
+tradebeans, tradesoap crash; all others exceed 5 % on both metrics.
+"""
+
+from repro import JVM, BenchmarkCrash, baseline_config
+from repro.analysis.report import render_table
+from repro.analysis.stability import stability_table
+from repro.workloads.dacapo import ALL_BENCHMARKS, get_benchmark
+
+from common import emit, once, quick_or_full
+
+# Cheap enough to run at paper scale in both modes.
+RUNS = quick_or_full(10, 10)
+ITERATIONS = quick_or_full(10, 10)
+
+
+def run_experiment():
+    runs = {}
+    crashed = []
+    for name in ALL_BENCHMARKS:
+        results = []
+        try:
+            for seed in range(RUNS):
+                jvm = JVM(baseline_config(seed=seed))
+                result = jvm.run(
+                    get_benchmark(name), iterations=ITERATIONS, system_gc=True
+                )
+                if result.crashed:
+                    raise BenchmarkCrash(name)
+                results.append(result)
+        except BenchmarkCrash:
+            crashed.append(name)
+            continue
+        runs[name] = results
+    return stability_table(runs, crashed=crashed)
+
+
+def test_table2_stability(benchmark):
+    rows = once(benchmark, run_experiment)
+    text = render_table(
+        ["Benchmark", "Final iteration (%)", "Total execution time (%)", "stable?"],
+        [
+            (
+                r.benchmark,
+                "crash" if r.crashed else f"{r.rsd_final_pct:.1f}",
+                "crash" if r.crashed else f"{r.rsd_total_pct:.1f}",
+                "yes" if r.stable else "no",
+            )
+            for r in rows
+        ],
+        title="Table 2 — RSD of total execution time and final iteration",
+    )
+    emit("table2_stability", text)
+
+    by_name = {r.benchmark: r for r in rows}
+    # The paper's three crashers crash.
+    for name in ("eclipse", "tradebeans", "tradesoap"):
+        assert by_name[name].crashed
+    # The paper's stable subset is selected.
+    for name in ("h2", "tomcat", "pmd", "luindex", "batik", "xalan", "jython"):
+        assert by_name[name].stable, name
+    # The unstable leftovers are rejected.
+    for name in ("avrora", "fop", "lusearch", "sunflow"):
+        assert not by_name[name].stable, name

@@ -1,0 +1,82 @@
+"""E4 — Table 3: H2 under CMS across heap / young-generation sizes.
+
+Regenerates the paper's statistics table — #pauses(full), average pause,
+total pause, total execution time — for the same heap grid, and verifies
+the two headline behaviours:
+
+* the *young-generation anomaly*: for the 64 GB heap, CMS's average pause
+  is longer with the 6 GB young generation than with larger ones (the
+  paper: 1.33 s at 6 GB vs 0.36-0.55 s at 12-48 GB), while ParallelOld
+  behaves "as expected";
+* the tiny-heap rows run hundreds of collections, many of them full, and
+  spend over half of the execution time paused.
+"""
+
+from repro import GB, JVM, JVMConfig, MB
+from repro.analysis.pauses import pause_stats
+from repro.analysis.report import render_table
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+ROWS = [
+    (64 * GB, 6 * GB), (64 * GB, 12 * GB), (64 * GB, 24 * GB), (64 * GB, 48 * GB),
+    (1 * GB, 200 * MB), (1 * GB, 100 * MB),
+    (500 * MB, 200 * MB), (500 * MB, 100 * MB),
+    (250 * MB, 200 * MB), (250 * MB, 100 * MB),
+]
+SEED = 2
+ITERATIONS = quick_or_full(10, 10)
+
+
+def label(heap, young):
+    def f(n):
+        return f"{n / GB:g}GB" if n >= 1 * GB else f"{n / MB:g}MB"
+
+    return f"{f(heap)}-{f(young)}"
+
+
+def run_experiment():
+    out = {}
+    for gc in ("ConcMarkSweepGC", "ParallelOldGC"):
+        for heap, young in ROWS:
+            jvm = JVM(JVMConfig(gc=gc, heap=heap, young=young, seed=SEED))
+            result = jvm.run(get_benchmark("h2"), iterations=ITERATIONS,
+                             system_gc=False)
+            out[(gc, heap, young)] = (
+                pause_stats(result.gc_log, result.execution_time), result
+            )
+    return out
+
+
+def test_table3_h2_heap_sweep(benchmark):
+    data = once(benchmark, run_experiment)
+    lines = []
+    for gc in ("ConcMarkSweepGC", "ParallelOldGC"):
+        rows = []
+        for heap, young in ROWS:
+            stats, result = data[(gc, heap, young)]
+            rows.append((label(heap, young),) + stats.row()
+                        + (f"{100 * stats.pause_fraction:.0f}%",))
+        lines.append(render_table(
+            ["Heap-YoungGen", "#pauses(full)", "AVG pause (s)",
+             "Total pause (s)", "Total exec (s)", "paused"],
+            rows,
+            title=f"Table 3 — H2 statistics, {gc}",
+        ))
+        lines.append("")
+    emit("table3_h2_heap_sweep", "\n".join(lines))
+
+    cms = {young: data[("ConcMarkSweepGC", 64 * GB, young)][0]
+           for young in (6 * GB, 12 * GB, 24 * GB)}
+    # The anomaly: smaller young generation -> longer average pause.
+    assert cms[6 * GB].avg_pause > cms[24 * GB].avg_pause
+    po = {young: data[("ParallelOldGC", 64 * GB, young)][0]
+          for young in (6 * GB, 24 * GB)}
+    # ParallelOld "behaved as expected": avg pause decreases with
+    # decreasing young size.
+    assert po[6 * GB].avg_pause < po[24 * GB].avg_pause
+    # Tiny-heap rows: hundreds of pauses, > 50 % of time in GC.
+    worst, _r = data[("ConcMarkSweepGC", 250 * MB, 200 * MB)]
+    assert worst.pause_count > 100 and worst.full_count > 50
+    assert worst.pause_fraction > 0.5

@@ -1,0 +1,82 @@
+"""E11 — Table 8: advantages and disadvantages of the three main GCs.
+
+Derives the paper's closing qualitative table from measured data:
+throughput and pause-time verdicts for ParallelOld, CMS and G1 in both
+environments (DaCapo and Cassandra).
+
+Paper's Table 8:
+
+    ParallelOld  DaCapo:    good / short      Cassandra: good / unacceptable
+    CMS          DaCapo:    fairly good / acceptable
+                 Cassandra: fairly good / significant
+    G1           DaCapo:    bad / unacceptable
+                 Cassandra: fairly good / significant
+"""
+
+import numpy as np
+
+from repro import GB, JVM, JVMConfig, baseline_config
+from repro.analysis.report import render_table
+from repro.analysis.summary import qualitative_summary
+from repro.cassandra import CassandraServer, stress_config
+from repro.workloads.dacapo import get_benchmark
+
+from common import emit, once, quick_or_full
+
+GCS = ("ParallelOldGC", "ConcMarkSweepGC", "G1GC")
+SEEDS = quick_or_full((1, 2, 3), (1, 2, 3, 4, 5))
+
+
+def dacapo_side():
+    out = {}
+    for gc in GCS:
+        execs, max_pauses = [], []
+        for seed in SEEDS:
+            jvm = JVM(baseline_config(gc=gc, seed=seed))
+            r = jvm.run(get_benchmark("xalan"), iterations=10, system_gc=True)
+            execs.append(r.execution_time)
+            max_pauses.append(r.gc_log.max_pause)
+        out[gc] = {
+            "exec_time": float(np.median(execs)),
+            "max_pause": float(np.median(max_pauses)),
+        }
+    return out
+
+
+def cassandra_side():
+    out = {}
+    for gc in GCS:
+        jvm = JVM(JVMConfig(gc=gc, heap=64 * GB, young=12 * GB, seed=3))
+        server = CassandraServer(stress_config(64 * GB, preload_records=8_000_000))
+        r = jvm.run(server, duration=7200.0, ops_per_second=1350.0)
+        out[gc] = {
+            "exec_time": r.execution_time,
+            "max_pause": r.gc_log.max_pause,
+        }
+    return out
+
+
+def run_experiment():
+    return qualitative_summary(dacapo_side(), cassandra_side())
+
+
+def test_table8_summary(benchmark):
+    verdicts = once(benchmark, run_experiment)
+    text = render_table(
+        ["GC", "Experiment", "Throughput", "Pause Time"],
+        [(v.gc, v.experiment, v.throughput, v.pause_time) for v in verdicts],
+        title="Table 8 — qualitative summary (derived from measurements)",
+    )
+    emit("table8_summary", text)
+
+    by_key = {(v.gc, v.experiment): v for v in verdicts}
+    # ParallelOld: good on DaCapo, unacceptable pauses on Cassandra.
+    assert by_key[("ParallelOldGC", "DaCapo")].throughput == "good"
+    assert by_key[("ParallelOldGC", "DaCapo")].pause_time in ("short", "acceptable")
+    assert by_key[("ParallelOldGC", "Cassandra")].pause_time == "unacceptable"
+    # G1: bad throughput on DaCapo (forced full GCs), seconds-long but not
+    # minutes-long pauses on Cassandra.
+    assert by_key[("G1GC", "DaCapo")].throughput == "bad"
+    assert by_key[("G1GC", "Cassandra")].pause_time == "significant"
+    # CMS: in between on DaCapo, significant (not unacceptable) on Cassandra.
+    assert by_key[("ConcMarkSweepGC", "Cassandra")].pause_time == "significant"

@@ -1,0 +1,76 @@
+"""E10 — Tables 5, 6, 7: latency band statistics per GC.
+
+For each collector, computes the paper's statistics over the full
+operation trace (>1 M points): AVG/MAX/MIN, the 0.5x-1.5x AVG band, and
+the >2^n x AVG bands, each with the share of requests and the share of GC
+pauses associated with it.
+
+Paper shape: every >2x AVG band has (near) 100 % of GCs associated with
+it — all high latencies are GC-caused — while the 0.5x-1.5x band has 0 %.
+"""
+
+from repro import GB, JVMConfig
+from repro.analysis.latency import latency_band_stats
+from repro.analysis.report import render_table
+from repro.cassandra import default_config
+from repro.ycsb import WORKLOAD_A_LIKE, YCSBClient
+from repro.ycsb.client import KIND_READ, KIND_UPDATE
+
+from common import emit, once
+
+SEED = 7
+DURATION = 7200.0
+TABLES = {"ParallelOld": "Table 5", "G1": "Table 6", "CMS": "Table 7"}
+
+
+def run_experiment():
+    out = {}
+    for gc in TABLES:
+        client = YCSBClient(WORKLOAD_A_LIKE, seed=SEED)
+        cr = client.run(
+            JVMConfig(gc=gc, heap=64 * GB, young=12 * GB, seed=SEED),
+            default_config(64 * GB),
+            duration=DURATION,
+        )
+        out[gc] = {
+            "READ": latency_band_stats(cr.reads.op_times, cr.reads.latencies_ms,
+                                       cr.pause_intervals),
+            "UPDATE": latency_band_stats(cr.updates.op_times,
+                                         cr.updates.latencies_ms,
+                                         cr.pause_intervals),
+        }
+    return out
+
+
+def test_tables567_latency_stats(benchmark):
+    stats = once(benchmark, run_experiment)
+    lines = []
+    for gc, table in TABLES.items():
+        read, update = stats[gc]["READ"], stats[gc]["UPDATE"]
+        labels = [label for label, _v in read.rows()]
+        read_vals = dict(read.rows())
+        upd_vals = dict(update.rows())
+        rows = [(label, read_vals.get(label, "-"), upd_vals.get(label, "-"))
+                for label in labels]
+        lines.append(render_table(
+            ["metric", "READ", "UPDATE"], rows,
+            title=f"{table} — latency statistics, {gc}",
+        ))
+        lines.append("")
+    emit("tables567_latency_stats", "\n".join(lines))
+
+    for gc in TABLES:
+        for kind in ("READ", "UPDATE"):
+            s = stats[gc][kind]
+            assert s.min_ms < 1.5
+            bands = {b.label: b for b in s.bands}
+            # The paper's headline: the >=2x..>=16x bands are (near) fully
+            # GC-attributed — all high latencies are GC-caused.
+            for label in (">2x AVG", ">4x AVG", ">8x AVG", ">16x AVG"):
+                if label in bands:
+                    assert bands[label].pct_gcs > 90.0, (gc, kind, label)
+            # ...while the mid band is not driven by GCs at all.
+            assert bands["0.5x-1.5x AVG"].pct_gcs < 10.0
+    # AVG ordering across collectors follows pause mass: PO > CMS > G1.
+    read_avgs = {gc: stats[gc]["READ"].avg_ms for gc in TABLES}
+    assert read_avgs["ParallelOld"] > read_avgs["CMS"] > read_avgs["G1"]

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures: it
+runs the experiment inside the ``benchmark`` fixture, prints the rows or
+series the paper reports, and writes the same text into
+``benchmarks/out/<name>.txt`` so artefacts survive pytest's output
+capturing.
+
+Set ``REPRO_FULL=1`` for the full-fidelity grids (paper scale); the
+default *quick* mode shrinks repetition counts so the whole harness runs
+in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0", "false")
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def quick_or_full(quick, full):
+    """Pick a parameter by mode."""
+    return full if FULL else quick
+
+
+def emit(name: str, text: str) -> str:
+    """Print *text* and persist it to ``benchmarks/out/<name>.txt``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    header = f"== {name} ({'full' if FULL else 'quick'} mode) =="
+    body = f"{header}\n{text}\n"
+    path.write_text(body)
+    print("\n" + body)
+    return str(path)
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Distributed-system impact of GC pauses (the paper's closing warning).
+
+Runs a 3-node simulated Cassandra cluster under each collector and
+overlays the gossip failure detector: a stop-the-world pause longer than
+the phi-accrual timeout gets the node convicted DOWN, and its share of
+the write stream piles up as hinted handoffs — the "cumbersome
+synchronization protocol" the paper warns about.
+
+Run:  python examples/distributed_cluster.py [--hours H]
+"""
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.cassandra import ClusterConfig, run_cluster_study
+from repro.units import MB
+
+
+def main() -> None:
+    hours = 1.0
+    if "--hours" in sys.argv:
+        hours = float(sys.argv[sys.argv.index("--hours") + 1])
+    duration = hours * 3600.0
+    cluster = ClusterConfig(n_nodes=3, failure_timeout=3.0)
+
+    rows = []
+    worst = {}
+    for gc in ("ParallelOld", "CMS", "G1", "HTM"):
+        res = run_cluster_study(gc, cluster=cluster, duration=duration, seed=3)
+        worst[gc] = max((e.pause_duration for e in res.down_events), default=0.0)
+        rows.append((
+            gc,
+            len(res.down_events),
+            round(res.total_unavailable_seconds, 1),
+            f"{100 * res.availability(duration):.3f}%",
+            round(res.hinted_handoff_bytes / MB, 1),
+        ))
+    print(render_table(
+        ["GC", "DOWN convictions", "node-down (s)", "availability",
+         "hinted handoff (MB)"],
+        rows,
+        title=f"3-node Cassandra cluster, {hours:g} h stress load, "
+              f"phi timeout {cluster.failure_timeout:g} s",
+    ))
+    print()
+    for gc, pause in worst.items():
+        if pause > 0:
+            print(f"  worst convicting pause under {gc}: {pause:.1f} s")
+    print("\nThe paper's conclusion quantified: the throughput-optimal")
+    print("collector repeatedly gets healthy replicas declared dead, while")
+    print("the concurrent collectors keep the cluster membership stable —")
+    print("and the HTM design (the paper's future work) removes the issue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Heap-tuning study: sweep heap and young-generation sizes for H2.
+
+Reproduces the methodology behind the paper's Table 3 as a tuning tool:
+for a chosen collector, sweeps heap and young sizes and reports pause
+counts, average pause and execution time — including the CMS/ParNew
+*young-generation anomaly* (a smaller young generation can mean *longer*
+average pauses) and the thrashing regime when the heap barely fits the
+live set.
+
+Run:  python examples/heap_tuning.py [gc]   (default: CMS)
+"""
+
+import sys
+
+from repro import GB, JVM, JVMConfig, MB
+from repro.analysis.pauses import pause_stats
+from repro.analysis.report import render_table
+from repro.workloads.dacapo import get_benchmark
+
+SWEEP = [
+    (64 * GB, 6 * GB), (64 * GB, 12 * GB), (64 * GB, 24 * GB),
+    (1 * GB, 200 * MB), (1 * GB, 100 * MB),
+    (500 * MB, 200 * MB), (250 * MB, 200 * MB),
+]
+
+
+def fmt(n: float) -> str:
+    return f"{n / GB:g}G" if n >= 1 * GB else f"{n / MB:g}M"
+
+
+def main() -> None:
+    gc = sys.argv[1] if len(sys.argv) > 1 else "CMS"
+    rows = []
+    for heap, young in SWEEP:
+        jvm = JVM(JVMConfig(gc=gc, heap=heap, young=young, seed=2))
+        result = jvm.run(get_benchmark("h2"), iterations=10, system_gc=False)
+        stats = pause_stats(result.gc_log, result.execution_time)
+        rows.append((
+            f"{fmt(heap)}-{fmt(young)}",
+            stats.row()[0],
+            stats.row()[1],
+            stats.row()[2],
+            stats.row()[3],
+            f"{100 * stats.pause_fraction:.0f}%",
+            "CRASHED" if result.crashed else "",
+        ))
+    print(render_table(
+        ["heap-young", "#pauses(full)", "avg (s)", "total pause (s)",
+         "exec (s)", "paused", ""],
+        rows,
+        title=f"H2 heap/young sweep under {gc}",
+    ))
+    print("\nReading the table: at 64 GB the first row (small young gen)")
+    print("shows the anomaly for CMS/ParNew — premature promotion into the")
+    print("free-list old generation makes the *average* pause longer; the")
+    print("bottom rows show GC thrashing once the heap barely fits H2's")
+    print("live set (hundreds of full collections, most of the run paused).")
+
+
+if __name__ == "__main__":
+    main()

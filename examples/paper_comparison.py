@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Side-by-side: the paper's published numbers vs. this reproduction.
+
+Re-runs three of the paper's headline experiments and prints each result
+next to the value printed in the paper (machine-readable reference data
+in :mod:`repro.paper`), flagging whether the *shape* claim holds.
+
+Run:  python examples/paper_comparison.py
+"""
+
+from repro import GB, JVM, JVMConfig, MB, paper
+from repro.analysis.report import render_table
+from repro.analysis.stability import rsd
+from repro.cassandra import CassandraServer, stress_config
+from repro.jvm.flags import baseline_config
+from repro.workloads.dacapo import get_benchmark
+
+
+def table2_comparison() -> None:
+    rows = []
+    for name, (paper_final, paper_total) in paper.TABLE2_RSD.items():
+        finals, totals = [], []
+        for seed in range(10):
+            jvm = JVM(baseline_config(seed=seed))
+            r = jvm.run(get_benchmark(name), iterations=10, system_gc=True)
+            finals.append(r.final_iteration_time)
+            totals.append(r.execution_time)
+        rows.append((
+            name,
+            f"{paper_final:.1f} / {paper_total:.1f}",
+            f"{100 * rsd(finals):.1f} / {100 * rsd(totals):.1f}",
+        ))
+    print(render_table(
+        ["benchmark", "paper RSD (final/total %)", "measured"],
+        rows, title="Table 2 — stability",
+    ))
+    print()
+
+
+def table3_comparison() -> None:
+    rows = []
+    measured_pairs = []
+    paper_pairs = []
+    by_young = {r.young_bytes: r for r in paper.TABLE3_H2_CMS
+                if r.heap_bytes == 64 * GB}
+    measured = {}
+    for young in (6 * GB, 12 * GB, 24 * GB):
+        jvm = JVM(JVMConfig(gc="CMS", heap=64 * GB, young=young, seed=2))
+        r = jvm.run(get_benchmark("h2"), iterations=10, system_gc=False)
+        measured[young] = r.gc_log.avg_pause
+        ref = by_young[young]
+        rows.append((
+            f"64GB-{young / GB:g}GB",
+            f"{ref.pauses}({ref.full_pauses})",
+            ref.avg_pause_s,
+            f"{r.gc_log.count}({r.gc_log.full_count})",
+            round(r.gc_log.avg_pause, 2),
+        ))
+    paper_pairs.append((by_young[6 * GB].avg_pause_s, by_young[24 * GB].avg_pause_s))
+    measured_pairs.append((measured[6 * GB], measured[24 * GB]))
+    anomaly = paper.same_direction(paper_pairs, measured_pairs)
+    print(render_table(
+        ["config", "paper #p(full)", "paper avg (s)",
+         "measured #p(full)", "measured avg (s)"],
+        rows, title="Table 3 — H2 under CMS (upper rows)",
+    ))
+    print(f"young-generation anomaly direction reproduced: {anomaly}\n")
+
+
+def cassandra_comparison() -> None:
+    jvm = JVM(JVMConfig(gc="ParallelOld", heap=64 * GB, young=12 * GB, seed=3))
+    server = CassandraServer(stress_config(64 * GB, preload_records=8_000_000))
+    r = jvm.run(server, duration=7200.0, ops_per_second=1350.0)
+    fulls = [p.duration for p in r.gc_log.pauses if p.is_full]
+    measured_full = max(fulls) if fulls else 0.0
+    ref = paper.CASSANDRA_PARALLELOLD["stress_2h"]
+    print(render_table(
+        ["metric", "paper", "measured"],
+        [
+            ("stress-test full GCs", f">= {ref['full_gcs']}", len(fulls)),
+            ("worst full GC (s)", f"~{ref['full_gc_s']:.0f}",
+             round(measured_full, 1)),
+        ],
+        title="§4.1 — ParallelOld on the Cassandra stress test",
+    ))
+    rec = paper.compare_value(ref["full_gc_s"], measured_full)
+    print(f"full-GC duration ratio (measured/paper): {rec['ratio']:.2f}\n")
+
+
+def main() -> None:
+    print(paper.CITATION + "\n")
+    table2_comparison()
+    table3_comparison()
+    cassandra_comparison()
+    print("Full artefact-by-artefact comparison: see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

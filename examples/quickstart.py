@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: run one DaCapo benchmark on the simulated JVM.
+
+Creates a JVM with the paper's baseline configuration (ParallelOld,
+~16 GB heap, ~5.6 GB young generation, TLAB on), runs the xalan
+benchmark for 10 iterations with a forced full GC between iterations
+(DaCapo's default), and prints the run summary, the per-iteration times
+and a HotSpot-style GC log.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import JVM, baseline_config
+from repro.analysis.report import render_table
+from repro.jvm.gclog import format_gc_log
+from repro.workloads.dacapo import get_benchmark
+
+
+def main() -> None:
+    config = baseline_config(seed=42)
+    print(f"Machine : {config.topology.describe()}")
+    print(f"JVM     : {config.gc.value}, heap {config.heap_bytes / 2**30:.0f} GB, "
+          f"young {config.young_bytes / 2**30:.1f} GB\n")
+
+    jvm = JVM(config)
+    result = jvm.run(get_benchmark("xalan"), iterations=10, system_gc=True)
+
+    print(result.summary())
+    print()
+    print(render_table(
+        ["iteration", "duration (s)"],
+        [(i + 1, round(t, 3)) for i, t in enumerate(result.iteration_times)],
+        title="Per-iteration execution time (last = measured run)",
+    ))
+    print("\nGC log (HotSpot-style):")
+    print(format_gc_log(result.gc_log, config.heap_bytes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""SPECjbb-style throughput scaling across collectors.
+
+Ramps warehouses (threads) from 1 to twice the core count on the paper's
+48-core box and reports business operations per second (BOPS) per
+collector — the throughput lens on the same GC behaviour the paper's
+DaCapo experiments observe through execution time. Includes the HTM
+collector the paper proposes as future work.
+
+Run:  python examples/specjbb_scaling.py
+"""
+
+from repro import JVM, baseline_config
+from repro.analysis.report import render_table
+from repro.workloads.specjbb import SPECjbbWorkload
+
+COLLECTORS = ("SerialGC", "ParallelOldGC", "ConcMarkSweepGC", "G1GC", "HTMGC")
+WAREHOUSES = [1, 12, 24, 48, 96]
+
+
+def main() -> None:
+    curves = {}
+    for gc in COLLECTORS:
+        jvm = JVM(baseline_config(gc=gc, seed=5))
+        result = jvm.run(SPECjbbWorkload(), warehouses=WAREHOUSES,
+                         measurement_seconds=20.0)
+        curves[gc] = result.extras
+
+    rows = []
+    for gc in COLLECTORS:
+        points = {p.warehouses: p for p in curves[gc]["points"]}
+        rows.append(
+            [gc]
+            + [round(points[w].bops) for w in WAREHOUSES]
+            + [round(curves[gc]["score"])]
+        )
+    print(render_table(
+        ["GC"] + [f"{w} wh" for w in WAREHOUSES] + ["score"],
+        rows,
+        title="SPECjbb-style BOPS by warehouse count (48-core machine)",
+    ))
+
+    print("\nGC share of the measurement window at 48 warehouses:")
+    for gc in COLLECTORS:
+        peak = {p.warehouses: p for p in curves[gc]["points"]}[48]
+        print(f"  {gc:16s} {100 * peak.gc_pause_seconds / peak.elapsed:5.1f}%")
+    print("\nThe stop-the-world collectors lose a large slice of the machine")
+    print("to collection at full load (Gidra et al.'s non-scalability);")
+    print("the HTM collector trades a constant mutator tax for near-zero")
+    print("pause time and wins on this closed-loop workload.")
+
+
+if __name__ == "__main__":
+    main()

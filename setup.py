@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments that lack the `wheel` package
+(pip falls back to `setup.py develop` when no [build-system] table is
+present).
+"""
+
+from setuptools import setup
+
+setup()

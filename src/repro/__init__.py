@@ -1,0 +1,58 @@
+"""repro — a simulated-JVM reproduction of *A Performance Study of Java
+Garbage Collectors on Multicore Architectures* (PMAM '15).
+
+Quick start::
+
+    from repro import JVM, baseline_config
+    from repro.workloads.dacapo import get_benchmark
+
+    jvm = JVM(baseline_config(gc="G1"))
+    result = jvm.run(get_benchmark("xalan"), iterations=10, system_gc=True)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from .errors import (
+    AllocationFailure,
+    BenchmarkCrash,
+    ConfigError,
+    HeapError,
+    OutOfMemoryError,
+    PromotionFailure,
+    ReproError,
+    SimulationError,
+)
+from .gc import GCType, GC_NAMES
+from .jvm import JVM, JVMConfig, RunResult
+from .jvm.flags import baseline_config
+from .machine import CostModel, MachineTopology, PAPER_CLIENT, PAPER_SERVER
+from .units import GB, KB, MB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JVM",
+    "JVMConfig",
+    "RunResult",
+    "baseline_config",
+    "GCType",
+    "GC_NAMES",
+    "MachineTopology",
+    "CostModel",
+    "PAPER_SERVER",
+    "PAPER_CLIENT",
+    "KB",
+    "MB",
+    "GB",
+    "ReproError",
+    "ConfigError",
+    "HeapError",
+    "OutOfMemoryError",
+    "AllocationFailure",
+    "PromotionFailure",
+    "SimulationError",
+    "BenchmarkCrash",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Analysis: the statistics behind every table and figure in the paper.
+
+Each module maps to one artefact family:
+
+* :mod:`~repro.analysis.stability` — Table 2 (benchmark-selection RSDs);
+* :mod:`~repro.analysis.pauses`    — Table 3, Figures 1 & 4 (pause stats);
+* :mod:`~repro.analysis.tlab`      — Table 4 (TLAB influence + / = / −);
+* :mod:`~repro.analysis.ranking`   — Figure 3 (GC ranking by wins);
+* :mod:`~repro.analysis.latency`   — Tables 5-7 (latency band statistics);
+* :mod:`~repro.analysis.summary`   — Table 8 (qualitative GC summary);
+* :mod:`~repro.analysis.report`    — plain-text table / series rendering.
+"""
+
+from .stability import rsd, stability_table
+from .pauses import (PauseStats, heap_occupancy_series, inter_pause_intervals,
+                     pause_percentiles, pause_scatter, pause_stats)
+from .tlab import TLABInfluence, classify_tlab
+from .ranking import RankingResult, rank_by_wins
+from .latency import LatencyBandStats, latency_band_stats, gc_overlap_fraction
+from .summary import GCVerdict, qualitative_summary
+from .report import render_table, render_series
+from .ascii_plot import scatter_plot
+
+__all__ = [
+    "rsd",
+    "stability_table",
+    "PauseStats",
+    "pause_stats",
+    "pause_scatter",
+    "heap_occupancy_series",
+    "inter_pause_intervals",
+    "pause_percentiles",
+    "TLABInfluence",
+    "classify_tlab",
+    "RankingResult",
+    "rank_by_wins",
+    "LatencyBandStats",
+    "latency_band_stats",
+    "gc_overlap_fraction",
+    "GCVerdict",
+    "qualitative_summary",
+    "render_table",
+    "render_series",
+    "scatter_plot",
+]

@@ -1,0 +1,92 @@
+"""Terminal scatter plots: render the paper's figures without matplotlib.
+
+The benchmark harness prints figure-shaped artefacts as data series;
+these helpers additionally draw them as fixed-width ASCII scatter charts
+(one marker character per series), so ``examples/`` and ``benchmarks/``
+can show Figure 1/4/5-like charts in any terminal or text log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Marker characters assigned to series, in order.
+MARKERS = "ox+*#@%&"
+
+
+def scatter_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (xs, ys) series as an ASCII scatter chart.
+
+    Later series draw over earlier ones where cells collide. Axis ranges
+    cover all series jointly; the legend maps markers to series names.
+    """
+    if not series:
+        raise ConfigError("scatter_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise ConfigError("plot area too small")
+    if len(series) > len(MARKERS):
+        raise ConfigError(f"at most {len(MARKERS)} series supported")
+
+    arrays = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape:
+            raise ConfigError(f"series {name!r}: xs and ys must align")
+        arrays[name] = (xs, ys)
+
+    all_x = np.concatenate([xs for xs, _ys in arrays.values()] or [np.zeros(1)])
+    all_y = np.concatenate([ys for _xs, ys in arrays.values()] or [np.zeros(1)])
+    if all_x.size == 0:
+        raise ConfigError("all series are empty")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = min(0.0, float(all_y.min())), float(all_y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, (xs, ys)) in zip(MARKERS, arrays.items()):
+        cols = np.clip(((xs - x_lo) / x_span * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(((ys - y_lo) / y_span * (height - 1)).astype(int), 0, height - 1)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    gutter = max(len(y_hi_label), len(y_lo_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(gutter)
+        elif i == height - 1:
+            label = y_lo_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}|")
+    x_lo_label = f"{x_lo:.4g}"
+    x_hi_label = f"{x_hi:.4g}"
+    axis = f"{' ' * gutter} +{'-' * width}+"
+    lines.append(axis)
+    pad = width - len(x_lo_label) - len(x_hi_label)
+    lines.append(
+        f"{' ' * gutter}  {x_lo_label}{' ' * max(pad, 1)}{x_hi_label}  ({x_label})"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, arrays)
+    )
+    lines.append(f"{' ' * gutter}  [{y_label}]  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Client latency band statistics (paper §4.2, Tables 5-7).
+
+For each operation type the paper reports AVG/MAX/MIN latency, then for
+each band — 0.5×-1.5× the average, and >2ⁿ× the average for growing n —
+two percentages:
+
+* ``%reqs``: the share of *requests* whose latency falls in the band;
+* ``%GCs``: the share of *GC pauses* associated with the band — a pause
+  is associated with a band when at least one request that overlapped the
+  pause has its latency in that band. The paper's headline observation is
+  that every ``> 2x AVG`` band has ``%GCs`` at (or near) 100: all high
+  latencies are GC-caused.
+
+Everything is vectorized (the traces hold >1 M points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BandStat:
+    """One band row of Tables 5-7."""
+
+    label: str
+    pct_requests: float
+    pct_gcs: float
+
+
+@dataclass
+class LatencyBandStats:
+    """Tables 5-7 statistics for one operation type."""
+
+    avg_ms: float
+    max_ms: float
+    min_ms: float
+    bands: List[BandStat] = field(default_factory=list)
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """Flat (label, value) rows in the paper's order."""
+        out = [
+            ("AVG(ms)", round(self.avg_ms, 3)),
+            ("MAX(ms)", round(self.max_ms, 3)),
+            ("MIN(ms)", round(self.min_ms, 3)),
+        ]
+        for b in self.bands:
+            out.append((f"{b.label} (%reqs)", round(b.pct_requests, 3)))
+            out.append((f"{b.label} (%GCs)", round(b.pct_gcs, 3)))
+        return out
+
+
+def _pause_peak_latencies(
+    op_times: np.ndarray,
+    latencies: np.ndarray,
+    intervals: np.ndarray,
+) -> np.ndarray:
+    """Peak operation latency observed during each pause (0 if no op).
+
+    The peak op of a pause waited for (nearly) the whole pause — it is the
+    pause's latency signature in the client trace.
+    """
+    if intervals.size == 0:
+        return np.zeros(0)
+    starts, ends = intervals[:, 0], intervals[:, 1]
+    lo = np.searchsorted(op_times, starts, side="left")
+    hi = np.searchsorted(op_times, ends, side="left")
+    peaks = np.zeros(len(starts))
+    for i in range(len(starts)):
+        if hi[i] > lo[i]:
+            peaks[i] = latencies[lo[i]:hi[i]].max()
+    return peaks
+
+
+def _pause_band_pct(peaks: np.ndarray, lo_ms: float, hi_ms: float) -> float:
+    """Share of pauses whose latency signature falls in [lo, hi)."""
+    covered = peaks[peaks > 0]
+    if covered.size == 0:
+        return 0.0
+    in_band = (covered >= lo_ms) & (covered < hi_ms)
+    return float(100.0 * in_band.mean())
+
+
+def latency_band_stats(
+    op_times: np.ndarray,
+    latencies_ms: np.ndarray,
+    pause_intervals: np.ndarray,
+    *,
+    min_band_pct: float = 0.001,
+    max_exponent: int = 10,
+) -> LatencyBandStats:
+    """Compute one Table 5/6/7 column.
+
+    Bands follow the paper: 0.5×-1.5× AVG, then >2×, >4×, >8×... AVG,
+    doubling n "until the percentage of points became too close to 0"
+    (below *min_band_pct*).
+    """
+    op_times = np.asarray(op_times, dtype=float)
+    lat = np.asarray(latencies_ms, dtype=float)
+    if op_times.shape != lat.shape:
+        raise ConfigError("op_times and latencies must align")
+    if lat.size == 0:
+        raise ConfigError("no operations recorded")
+    avg = float(lat.mean())
+    stats = LatencyBandStats(avg_ms=avg, max_ms=float(lat.max()), min_ms=float(lat.min()))
+    peaks = _pause_peak_latencies(op_times, lat, pause_intervals)
+
+    in_mid = (lat > 0.5 * avg) & (lat < 1.5 * avg)
+    stats.bands.append(
+        BandStat(
+            "0.5x-1.5x AVG",
+            float(100.0 * in_mid.mean()),
+            _pause_band_pct(peaks, 0.5 * avg, 1.5 * avg),
+        )
+    )
+    factor = 2.0
+    for _n in range(max_exponent):
+        above = lat > factor * avg
+        pct = float(100.0 * above.mean())
+        if pct < min_band_pct:
+            break
+        stats.bands.append(
+            BandStat(
+                f">{factor:g}x AVG",
+                pct,
+                _pause_band_pct(peaks, factor * avg, float("inf")),
+            )
+        )
+        factor *= 2.0
+    return stats
+
+
+def gc_overlap_fraction(
+    op_times: np.ndarray,
+    latencies_ms: np.ndarray,
+    pause_intervals: np.ndarray,
+    threshold_factor: float = 2.0,
+) -> float:
+    """Fraction of high-latency ops (> factor x AVG) that overlap a pause.
+
+    The paper's Figure 5 observation 2: "the highest latencies correspond
+    to the moments when a collection took place".
+    """
+    op_times = np.asarray(op_times, dtype=float)
+    lat = np.asarray(latencies_ms, dtype=float)
+    if lat.size == 0:
+        return 0.0
+    high = lat > threshold_factor * lat.mean()
+    if not high.any():
+        return 0.0
+    if pause_intervals.size == 0:
+        return 0.0
+    starts = pause_intervals[:, 0]
+    ends = pause_intervals[:, 1]
+    t = op_times[high]
+    idx = np.searchsorted(starts, t, side="right") - 1
+    valid = idx >= 0
+    overlapped = np.zeros(t.shape, dtype=bool)
+    overlapped[valid] = t[valid] < ends[idx[valid]]
+    return float(overlapped.mean())

@@ -1,0 +1,103 @@
+"""Pause-time statistics (paper §3.3 Table 3, Figures 1 and 4).
+
+`pause_stats` computes the Table 3 row quantities for one run;
+`pause_scatter` extracts the (time, duration) series plotted in
+Figures 1 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..gc.stats import GCLog
+
+
+@dataclass(frozen=True)
+class PauseStats:
+    """One row of the paper's Table 3."""
+
+    pause_count: int
+    full_count: int
+    avg_pause: float
+    total_pause: float
+    max_pause: float
+    execution_time: float
+
+    @property
+    def pause_fraction(self) -> float:
+        """Share of execution time spent stopped (Table 3 discussion:
+        "the total pause time can represent more than 50 % of the total
+        execution time")."""
+        if self.execution_time <= 0:
+            return 0.0
+        return self.total_pause / self.execution_time
+
+    def row(self) -> Tuple:
+        """Table 3 row tuple: (#pauses(full), avg, total, exec)."""
+        return (
+            f"{self.pause_count}({self.full_count})",
+            round(self.avg_pause, 3),
+            round(self.total_pause, 2),
+            round(self.execution_time, 2),
+        )
+
+
+def pause_stats(log: GCLog, execution_time: float) -> PauseStats:
+    """Compute Table 3 statistics from a GC log."""
+    return PauseStats(
+        pause_count=log.count,
+        full_count=log.full_count,
+        avg_pause=log.avg_pause,
+        total_pause=log.total_pause,
+        max_pause=log.max_pause,
+        execution_time=float(execution_time),
+    )
+
+
+def pause_scatter(log: GCLog) -> Tuple[np.ndarray, np.ndarray]:
+    """(start_times, durations) arrays — the Figure 1 / Figure 4 series."""
+    return log.starts(), log.durations()
+
+
+def heap_occupancy_series(log: GCLog) -> Tuple[np.ndarray, np.ndarray]:
+    """Heap occupancy over time, sampled at collection boundaries.
+
+    Each STW pause contributes two samples: (start, used_before) and
+    (end, used_after) — the classic sawtooth of a generational heap.
+    Useful for plotting memory pressure alongside the pause trace.
+    """
+    ts: list = []
+    used: list = []
+    for p in log.pauses:
+        ts.append(p.start)
+        used.append(p.heap_used_before)
+        ts.append(p.end)
+        used.append(p.heap_used_after)
+    return np.array(ts, dtype=float), np.array(used, dtype=float)
+
+
+def pause_percentiles(log: GCLog, qs=(50, 90, 99, 100)) -> dict:
+    """Pause-duration percentiles (keys ``"p50"``... ``"p100"``).
+
+    Empty logs yield zeros, so reports can be built unconditionally.
+    """
+    d = log.durations()
+    if d.size == 0:
+        return {f"p{q}": 0.0 for q in qs}
+    return {f"p{q}": float(np.percentile(d, q)) for q in qs}
+
+
+def inter_pause_intervals(log: GCLog) -> np.ndarray:
+    """Seconds of mutator progress between consecutive pauses.
+
+    The allocation-rate lens on a run: short intervals mean the nursery
+    is filling fast (or the heap is thrashing).
+    """
+    if log.count < 2:
+        return np.zeros(0)
+    starts = log.starts()
+    ends = np.array([p.end for p in log.pauses])
+    return starts[1:] - ends[:-1]

@@ -1,0 +1,57 @@
+"""GC ranking by experiments won (paper §3.5, Figure 3).
+
+An *experiment* is a (benchmark, heap size, young size) combination; the
+GC with the shortest total execution time wins it. Figure 3 plots, per
+GC, the percentage of experiments won.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass
+class RankingResult:
+    """Win counts per GC over a set of experiments."""
+
+    wins: Dict[str, int] = field(default_factory=dict)
+    total_experiments: int = 0
+
+    def percentage(self, gc: str) -> float:
+        """Percent of experiments won by *gc* (Figure 3's Y axis)."""
+        if self.total_experiments == 0:
+            return 0.0
+        return 100.0 * self.wins.get(gc, 0) / self.total_experiments
+
+    def ordered(self) -> List[Tuple[str, float]]:
+        """(gc, percent) pairs, best first — Figure 3's bar order.
+
+        GCs with zero wins are omitted, mirroring the paper ("there is no
+        column for G1 GC. That means that G1 did not perform better than
+        all other GCs in any of the experiments").
+        """
+        pairs = [(gc, self.percentage(gc)) for gc, n in self.wins.items() if n > 0]
+        pairs.sort(key=lambda p: -p[1])
+        return pairs
+
+
+def rank_by_wins(
+    experiments: Dict[Tuple, Dict[str, float]],
+) -> RankingResult:
+    """Rank GCs by experiments won.
+
+    *experiments* maps an experiment key (benchmark, heap, young) to
+    ``{gc_name: total_execution_time}``. Crashed/absent runs should simply
+    be omitted from the inner dict.
+    """
+    result = RankingResult()
+    for key, times in experiments.items():
+        if not times:
+            raise ConfigError(f"experiment {key!r} has no runs")
+        winner = min(times.items(), key=lambda kv: kv[1])[0]
+        result.wins[winner] = result.wins.get(winner, 0) + 1
+        result.total_experiments += 1
+    return result

@@ -1,0 +1,75 @@
+"""Benchmark-stability statistics (paper §3.2, Table 2).
+
+The paper runs every benchmark 10 times under the baseline configuration
+and reports the relative standard deviation of (a) the final iteration's
+duration and (b) the total execution time, keeping benchmarks under 5 %
+on at least one of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def rsd(values: Sequence[float]) -> float:
+    """Relative standard deviation (sample std over mean), as a fraction.
+
+    Returns ``nan`` for fewer than two values or a zero mean.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        return float("nan")
+    mean = arr.mean()
+    if mean == 0:
+        return float("nan")
+    return float(arr.std(ddof=1) / mean)
+
+
+@dataclass(frozen=True)
+class StabilityRow:
+    """One benchmark's Table 2 row."""
+
+    benchmark: str
+    rsd_final_pct: float
+    rsd_total_pct: float
+    crashed: bool = False
+
+    @property
+    def stable(self) -> bool:
+        """Paper's criterion: under 5 % on at least one metric."""
+        if self.crashed:
+            return False
+        return (self.rsd_final_pct < 5.0) or (self.rsd_total_pct < 5.0)
+
+
+def stability_table(
+    runs: Dict[str, List],
+    crashed: Sequence[str] = (),
+) -> List[StabilityRow]:
+    """Build Table 2 from per-benchmark run lists.
+
+    *runs* maps benchmark name to a list of
+    :class:`~repro.jvm.jvm.RunResult`; *crashed* names benchmarks that
+    crashed. Rows are returned in the input order.
+    """
+    rows: List[StabilityRow] = []
+    for name in crashed:
+        rows.append(StabilityRow(name, float("nan"), float("nan"), crashed=True))
+    for name, results in runs.items():
+        if not results:
+            raise ConfigError(f"benchmark {name!r} has no runs")
+        finals = [r.final_iteration_time for r in results]
+        totals = [r.execution_time for r in results]
+        rows.append(
+            StabilityRow(
+                benchmark=name,
+                rsd_final_pct=100.0 * rsd(finals),
+                rsd_total_pct=100.0 * rsd(totals),
+            )
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""Qualitative GC summary (paper §6, Table 8).
+
+The paper closes with a qualitative verdict per collector and
+environment: throughput {good, fairly good, bad} and pause time {short,
+acceptable, significant, unacceptable}. We derive the same labels from
+measured data so Table 8 regenerates from experiment outputs instead of
+being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GCVerdict:
+    """One Table 8 row."""
+
+    gc: str
+    experiment: str      #: "DaCapo" | "Cassandra"
+    throughput: str      #: good | fairly good | bad
+    pause_time: str      #: short | acceptable | significant | unacceptable
+
+
+def _throughput_label(relative_slowdown: float) -> str:
+    """Label execution time relative to the best collector (1.0 = best)."""
+    if relative_slowdown < 0:
+        raise ConfigError("slowdown must be >= 0")
+    if relative_slowdown <= 1.08:
+        return "good"
+    if relative_slowdown <= 1.20:
+        return "fairly good"
+    return "bad"
+
+
+def _pause_label(max_pause_seconds: float) -> str:
+    """Label the worst pause observed."""
+    if max_pause_seconds < 0:
+        raise ConfigError("pause must be >= 0")
+    if max_pause_seconds < 1.0:
+        return "short"
+    if max_pause_seconds < 2.5:
+        return "acceptable"
+    if max_pause_seconds < 60.0:
+        return "significant"
+    return "unacceptable"
+
+
+def qualitative_summary(
+    dacapo: Dict[str, Dict[str, float]],
+    cassandra: Dict[str, Dict[str, float]],
+) -> List[GCVerdict]:
+    """Build Table 8.
+
+    Both inputs map GC name to ``{"exec_time": ..., "max_pause": ...}``
+    (DaCapo: representative total execution time; Cassandra: serving
+    throughput proxy via execution time). Relative slowdowns are computed
+    within each environment.
+    """
+    verdicts: List[GCVerdict] = []
+    for experiment, data in (("DaCapo", dacapo), ("Cassandra", cassandra)):
+        if not data:
+            continue
+        best = min(d["exec_time"] for d in data.values())
+        if best <= 0:
+            raise ConfigError(f"non-positive best time in {experiment}")
+        for gc, d in data.items():
+            verdicts.append(
+                GCVerdict(
+                    gc=gc,
+                    experiment=experiment,
+                    throughput=_throughput_label(d["exec_time"] / best),
+                    pause_time=_pause_label(d["max_pause"]),
+                )
+            )
+    return verdicts

@@ -1,0 +1,68 @@
+"""TLAB influence classification (paper §3.4, Table 4).
+
+The paper compares total execution time with and without TLABs, with a
+5 % band around the average: within the band is "=" (no influence),
+TLAB-on faster than the band is "+" (improvement), slower is "−"
+(degradation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+class TLABInfluence(enum.Enum):
+    """Table 4 cell values."""
+
+    POSITIVE = "+"
+    NEUTRAL = "="
+    NEGATIVE = "-"
+
+
+@dataclass(frozen=True)
+class TLABComparison:
+    """One (benchmark, GC) comparison."""
+
+    benchmark: str
+    gc: str
+    time_with_tlab: float
+    time_without_tlab: float
+    influence: TLABInfluence
+
+
+def classify_tlab(
+    time_with: float,
+    time_without: float,
+    band: float = 0.05,
+) -> TLABInfluence:
+    """Classify the TLAB influence exactly as the paper does (§3.4).
+
+    The deviation is *band* (5 %) of the average of the two execution
+    times. If ``time_without - time_with`` exceeds the deviation, enabling
+    the TLAB improved things (``+``); if it is below the negative
+    deviation, it hurt (``-``); otherwise no influence (``=``).
+    """
+    if time_with < 0 or time_without < 0:
+        raise ConfigError("execution times must be non-negative")
+    deviation = band * 0.5 * (time_with + time_without)
+    delta = time_without - time_with
+    if delta > deviation:
+        return TLABInfluence.POSITIVE
+    if delta < -deviation:
+        return TLABInfluence.NEGATIVE
+    return TLABInfluence.NEUTRAL
+
+
+def compare(benchmark: str, gc: str, time_with: float, time_without: float,
+            band: float = 0.05) -> TLABComparison:
+    """Build a full comparison record."""
+    return TLABComparison(
+        benchmark=benchmark,
+        gc=gc,
+        time_with_tlab=time_with,
+        time_without_tlab=time_without,
+        influence=classify_tlab(time_with, time_without, band),
+    )

@@ -1,0 +1,38 @@
+"""Simulated Apache Cassandra 2.0 server (paper §2.2, §4).
+
+A single-node, in-memory NoSQL store whose data structures live on the
+simulated JVM heap: a commit log (append-only segments), a memtable (the
+in-memory cache of the database state) and SSTables (flushed, off-heap).
+The *stress test* configuration from the paper — memtable and commit log
+sized like the heap so nothing is ever flushed — is
+:func:`stress_config`.
+"""
+
+from .config import CassandraConfig, default_config, stress_config
+from .commitlog import CommitLog
+from .memtable import Memtable
+from .sstable import SSTableSet
+from .server import CassandraServer, ServerStats
+from .cluster import (
+    ClusterConfig,
+    ClusterResult,
+    DownEvent,
+    detect_down_events,
+    run_cluster_study,
+)
+
+__all__ = [
+    "CassandraConfig",
+    "default_config",
+    "stress_config",
+    "CommitLog",
+    "Memtable",
+    "SSTableSet",
+    "CassandraServer",
+    "ServerStats",
+    "ClusterConfig",
+    "ClusterResult",
+    "DownEvent",
+    "detect_down_events",
+    "run_cluster_study",
+]

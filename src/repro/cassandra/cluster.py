@@ -1,0 +1,181 @@
+"""Multi-node cluster study: GC pauses vs. the failure detector.
+
+The paper's closing warning (§4.1, §6): "in a distributed system, even a
+lag of a few seconds might result in the current node being considered
+down and the initiation of a cumbersome synchronization protocol." This
+module quantifies that: it runs one simulated Cassandra JVM per node
+(independent seeds, so collections are not synchronized across nodes),
+then overlays Cassandra's gossip failure detector on the pause logs:
+
+* each node heartbeats every :attr:`ClusterConfig.heartbeat_interval`;
+  a stop-the-world pause silences the node's gossip;
+* peers declare the node DOWN once silence exceeds
+  :attr:`ClusterConfig.failure_timeout` (the phi-accrual detector's
+  effective timeout — a few seconds at Cassandra defaults);
+* while a node is down, writes owed to it accumulate as *hinted
+  handoffs* that must be replayed when it returns — the "cumbersome
+  synchronization protocol".
+
+The overlay is vectorized over the pause logs (no per-heartbeat DES
+events), mirroring how the YCSB client synthesis couples to the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..jvm import JVM, JVMConfig, RunResult
+from ..units import GB
+from .config import CassandraConfig, stress_config
+from .server import CassandraServer
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-level parameters (Cassandra gossip defaults)."""
+
+    n_nodes: int = 3
+    #: None resolves to min(3, n_nodes) — Cassandra's conventional RF.
+    replication_factor: Optional[int] = None
+    heartbeat_interval: float = 1.0
+    #: Effective phi-accrual timeout: silence longer than this marks the
+    #: node down (Cassandra's phi_convict_threshold=8 lands in the
+    #: few-seconds range under a 1 s gossip interval).
+    failure_timeout: float = 3.0
+    #: Time for gossip to propagate the node's return once it resumes.
+    recovery_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigError("n_nodes must be >= 1")
+        if self.failure_timeout <= 0 or self.heartbeat_interval <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.replication_factor is None:
+            object.__setattr__(self, "replication_factor", min(3, self.n_nodes))
+        if not (1 <= self.replication_factor <= self.n_nodes):
+            raise ConfigError("replication_factor must be in [1, n_nodes]")
+
+
+@dataclass(frozen=True)
+class DownEvent:
+    """One detector conviction: a node was considered DOWN by its peers."""
+
+    node: int
+    declared_at: float     #: when peers convicted the node
+    recovered_at: float    #: when peers saw it alive again
+    pause_duration: float  #: the GC pause that caused it
+
+    @property
+    def unavailable_seconds(self) -> float:
+        """Wall time the node spent convicted."""
+        return self.recovered_at - self.declared_at
+
+
+@dataclass
+class ClusterResult:
+    """Per-collector outcome of a cluster study."""
+
+    gc: str
+    config: ClusterConfig
+    node_results: List[RunResult] = field(default_factory=list)
+    down_events: List[DownEvent] = field(default_factory=list)
+    write_rate_per_node: float = 0.0
+
+    @property
+    def total_unavailable_seconds(self) -> float:
+        """Sum of node-down time across the cluster."""
+        return float(sum(e.unavailable_seconds for e in self.down_events))
+
+    @property
+    def hinted_handoff_bytes(self) -> float:
+        """Writes that had to be stored as hints and replayed.
+
+        While a replica is convicted, its share of the write stream is
+        buffered on the coordinators: ``write_rate x down_time``.
+        """
+        return self.write_rate_per_node * self.total_unavailable_seconds
+
+    def availability(self, duration: float) -> float:
+        """Mean fraction of time a node was considered up."""
+        if duration <= 0 or not self.node_results:
+            return 1.0
+        per_node = duration * len(self.node_results)
+        return 1.0 - self.total_unavailable_seconds / per_node
+
+
+def detect_down_events(
+    pause_starts: np.ndarray,
+    pause_durations: np.ndarray,
+    config: ClusterConfig,
+    node: int = 0,
+) -> List[DownEvent]:
+    """Apply the failure detector to one node's pause log (vectorized).
+
+    A pause silences gossip from its start; peers convict once the
+    silence exceeds ``failure_timeout`` (plus up to one heartbeat of
+    detection latency, taken at its expectation of half an interval) and
+    see the node again ``recovery_delay`` after the pause ends.
+    """
+    starts = np.asarray(pause_starts, dtype=float)
+    durations = np.asarray(pause_durations, dtype=float)
+    if starts.shape != durations.shape:
+        raise ConfigError("pause arrays must align")
+    detection_lag = config.failure_timeout + 0.5 * config.heartbeat_interval
+    convicting = durations > detection_lag
+    events = []
+    for start, duration in zip(starts[convicting], durations[convicting]):
+        events.append(
+            DownEvent(
+                node=node,
+                declared_at=float(start + detection_lag),
+                recovered_at=float(start + duration + config.recovery_delay),
+                pause_duration=float(duration),
+            )
+        )
+    return events
+
+
+def run_cluster_study(
+    gc,
+    *,
+    cluster: Optional[ClusterConfig] = None,
+    cassandra: Optional[CassandraConfig] = None,
+    jvm_template: Optional[JVMConfig] = None,
+    duration: float = 7200.0,
+    ops_per_second: float = 1350.0,
+    seed: int = 3,
+) -> ClusterResult:
+    """Run *n_nodes* independent Cassandra JVMs and overlay the detector.
+
+    Nodes get derived seeds (their collections are uncorrelated, like real
+    replicas); the returned :class:`ClusterResult` aggregates conviction
+    events, unavailability and hinted-handoff volume.
+    """
+    cluster = cluster if cluster is not None else ClusterConfig()
+    result = ClusterResult(gc=str(gc), config=cluster)
+    heap = jvm_template.heap_bytes if jvm_template else 64 * GB
+    cassandra = cassandra if cassandra is not None else stress_config(heap)
+    for node in range(cluster.n_nodes):
+        config = (jvm_template or JVMConfig(gc=gc, heap=64 * GB, young=12 * GB)
+                  ).with_(gc=gc, seed=seed + 1000 * node)
+        server = CassandraServer(cassandra)
+        run = JVM(config).run(
+            server, duration=duration, ops_per_second=ops_per_second
+        )
+        result.node_results.append(run)
+        result.down_events.extend(
+            detect_down_events(
+                run.gc_log.starts(), run.gc_log.durations(), cluster, node=node
+            )
+        )
+    # Each node owns replication_factor / n_nodes of the write stream.
+    record_rate = ops_per_second * cassandra.record_bytes
+    result.write_rate_per_node = (
+        record_rate * cluster.replication_factor / cluster.n_nodes
+    )
+    result.down_events.sort(key=lambda e: e.declared_at)
+    return result

@@ -1,0 +1,83 @@
+"""Cassandra server configuration (the knobs the paper turns, §4.1).
+
+Two named configurations mirror the paper:
+
+* :func:`default_config` — memtable flushes to disk at a conventional
+  threshold, the commit log recycles segments;
+* :func:`stress_config` — "we set up both the commitlog and the internal
+  caching structure of Cassandra (called memtable) to have the same size
+  as the heap, which means that everything was always kept in memory",
+  plus a pre-loaded database whose commit log is replayed at startup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import GB, KB, MB
+
+
+@dataclass(frozen=True)
+class CassandraConfig:
+    """Tunables of the simulated Cassandra node."""
+
+    record_bytes: float = 1 * KB          #: YCSB default record (10 x 100 B fields)
+    heap_overhead_factor: float = 1.6     #: Java object overhead per stored record
+    memtable_cap_bytes: float = 4 * GB    #: flush threshold
+    commitlog_cap_bytes: float = 1 * GB   #: recycle threshold
+    commitlog_segment_bytes: float = 32 * MB
+    memtable_chunk_bytes: float = 16 * MB  #: cohort granularity of the memtable
+    #: Transient allocation per operation (request parsing, serialization,
+    #: iterator garbage) — Cassandra's well-known allocation amplification.
+    transient_bytes_per_op: float = 96 * KB
+    #: CPU time per operation on the server (one thread).
+    cpu_seconds_per_op: float = 0.00050
+    #: Records pre-loaded into the database (replayed from the commit log
+    #: at startup in the stress configuration).
+    preload_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.record_bytes <= 0:
+            raise ConfigError("record_bytes must be positive")
+        if self.heap_overhead_factor < 1.0:
+            raise ConfigError("heap_overhead_factor must be >= 1")
+        if self.memtable_cap_bytes <= 0 or self.commitlog_cap_bytes <= 0:
+            raise ConfigError("caps must be positive")
+        if self.commitlog_segment_bytes <= 0:
+            raise ConfigError("commitlog_segment_bytes must be positive")
+
+    @property
+    def record_heap_bytes(self) -> float:
+        """Heap bytes one record occupies in the memtable."""
+        return self.record_bytes * self.heap_overhead_factor
+
+
+def default_config(heap_bytes: float = 64 * GB, **overrides) -> CassandraConfig:
+    """The paper's *default* Cassandra configuration (§4.1).
+
+    Cassandra 2.0-era defaults size the memtable space at a third of the
+    heap (``memtable_total_space_in_mb``) and cap the commit log at 1 GB.
+    """
+    kw = dict(
+        memtable_cap_bytes=heap_bytes / 3,
+        commitlog_cap_bytes=1 * GB,
+    )
+    kw.update(overrides)
+    return CassandraConfig(**kw)
+
+
+def stress_config(heap_bytes: float, preload_records: int = 8_000_000,
+                  **overrides) -> CassandraConfig:
+    """The paper's *stress test* configuration: nothing ever flushes.
+
+    Memtable and commit-log caps equal the heap, and the database starts
+    pre-loaded (the commit log must be replayed before serving).
+    """
+    kw = dict(
+        memtable_cap_bytes=float(heap_bytes),
+        commitlog_cap_bytes=float(heap_bytes),
+        preload_records=int(preload_records),
+    )
+    kw.update(overrides)
+    return CassandraConfig(**kw)

@@ -1,0 +1,95 @@
+"""The memtable: Cassandra's in-memory write-back cache.
+
+Writes land in the memtable; when it exceeds its configured cap it is
+flushed to an SSTable on disk, releasing its heap space (in the paper's
+stress configuration the cap equals the heap and a flush never happens).
+
+Heap representation: the memtable owns *pinned cohorts* of
+``memtable_chunk_bytes`` each. Updates supersede previously-written data;
+once a chunk's worth of data is obsolete, the oldest chunk is released
+(compaction of the skip-list in real Cassandra) — this is what generates
+old-generation garbage under an update-heavy YCSB workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .config import CassandraConfig
+
+
+class Memtable:
+    """Heap-resident table of recent writes."""
+
+    def __init__(self, config: CassandraConfig):
+        self.config = config
+        self.chunks: List = []          # pinned cohorts (oldest first)
+        self.pending_bytes = 0.0        # bytes not yet materialized as a cohort
+        self.obsolete_bytes = 0.0       # superseded data awaiting chunk release
+        self.record_count = 0
+        self.flush_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def heap_bytes(self) -> float:
+        """Heap bytes currently held (materialized chunks + pending)."""
+        return sum(c.resident for c in self.chunks) + self.pending_bytes
+
+    @property
+    def needs_flush(self) -> bool:
+        """True when the memtable exceeded its cap."""
+        return self.heap_bytes >= self.config.memtable_cap_bytes
+
+    def write(self, n_records: float, *, update_fraction: float = 0.0) -> float:
+        """Record *n_records* writes; returns heap bytes to be allocated.
+
+        ``update_fraction`` of the writes supersede existing records
+        (they add new bytes but mark equal old bytes obsolete).
+        """
+        if n_records < 0 or not (0.0 <= update_fraction <= 1.0):
+            raise ConfigError("bad write() arguments")
+        new_bytes = n_records * self.config.record_heap_bytes
+        self.pending_bytes += new_bytes
+        self.record_count += int(n_records * (1.0 - update_fraction))
+        self.obsolete_bytes += new_bytes * update_fraction
+        return new_bytes
+
+    def materialize(self, allocate_chunk) -> None:
+        """Turn pending bytes into pinned chunk cohorts.
+
+        ``allocate_chunk(n_bytes) -> Cohort`` is supplied by the server's
+        mutator context (it may trigger GCs). Called from a generator via
+        ``yield from``.
+        """
+        chunk = self.config.memtable_chunk_bytes
+        while self.pending_bytes >= chunk:
+            cohort = yield from allocate_chunk(chunk)
+            self.chunks.append(cohort)
+            self.pending_bytes -= chunk
+        self._release_obsolete()
+
+    def _release_obsolete(self) -> None:
+        """Release whole chunks once enough data has been superseded."""
+        chunk = self.config.memtable_chunk_bytes
+        while self.obsolete_bytes >= chunk and self.chunks:
+            oldest = self.chunks.pop(0)
+            oldest.release()
+            self.obsolete_bytes -= chunk
+
+    def flush(self) -> float:
+        """Flush to an SSTable: release every chunk; returns bytes freed.
+
+        (The freed heap becomes old-generation garbage collected at the
+        next collection, exactly as in the real JVM.)
+        """
+        freed = 0.0
+        for cohort in self.chunks:
+            freed += cohort.release()
+        self.chunks.clear()
+        freed += self.pending_bytes
+        self.pending_bytes = 0.0
+        self.obsolete_bytes = 0.0
+        self.flush_count += 1
+        return freed

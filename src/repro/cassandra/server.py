@@ -1,0 +1,208 @@
+"""The Cassandra server workload: request execution on the simulated JVM.
+
+The server processes an operation mix (insert / update / read) at a given
+aggregate rate for a fixed amount of *simulated* time, exactly like the
+paper's YCSB client driving a single Cassandra node for one or two hours.
+Memory behaviour per operation:
+
+* every **insert/update** appends to the commit log and writes the
+  memtable (pinned heap data — the GC can never reclaim it until a flush
+  or supersession);
+* every operation allocates transient request garbage
+  (``transient_bytes_per_op``) with a generational lifetime profile;
+* the memtable flushes to an SSTable when it exceeds its cap (releasing
+  heap to be collected) — never, in the stress configuration;
+* in the stress configuration, startup **replays the commit log** of the
+  pre-loaded database (the paper's "loading step" before the benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..seeding import rng_for
+from ..heap.lifetime import Exponential, Immortal, Mixture, Weibull
+from ..units import KB
+from ..workloads.base import Workload
+from .commitlog import CommitLog
+from .config import CassandraConfig
+from .memtable import Memtable
+from .sstable import SSTableSet
+
+
+@dataclass
+class ServerStats:
+    """Server-side counters for one run."""
+
+    ops_executed: float = 0.0
+    inserts: float = 0.0
+    updates: float = 0.0
+    reads: float = 0.0
+    replayed_bytes: float = 0.0
+    replay_seconds: float = 0.0
+    flushes: int = 0
+    memtable_bytes_end: float = 0.0
+    commitlog_bytes_end: float = 0.0
+
+
+class CassandraServer(Workload):
+    """A single Cassandra node, runnable on a :class:`~repro.jvm.JVM`."""
+
+    name = "cassandra"
+
+    def __init__(self, config: CassandraConfig):
+        self.config = config
+        self.memtable = Memtable(config)
+        self.commitlog = CommitLog(config)
+        self.sstables = SSTableSet()
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+
+    def _transient_lifetime(self, insert_fraction: float = 1.0,
+                            update_fraction: float = 0.0):
+        """Lifetime mixture of per-request garbage.
+
+        The long-lived component (flush/compaction bookkeeping, index
+        summaries under construction) scales with the *write* share of the
+        mix: a pure-insert load keeps far more medium-term state alive
+        than a read/update mix.
+        """
+        long_w = 0.002 + 0.0295 * (insert_fraction + 0.15 * update_fraction)
+        return Mixture(
+            [
+                (0.9775 - long_w, Exponential(0.05)),  # request/response buffers
+                (0.0200, Weibull(0.7, 15.0)),          # per-request iterator state
+                (long_w, Weibull(0.6, 2500.0)),        # caches, compaction bookkeeping
+                (0.0005, Immortal()),                  # leaked bookkeeping
+            ]
+        )
+
+    def drive(
+        self,
+        jvm,
+        result,
+        duration: float = 3600.0,
+        ops_per_second: float = 4000.0,
+        read_fraction: float = 0.0,
+        update_fraction: float = 0.0,
+        n_client_threads: int = 100,
+        sim_thread_cap: int = 8,
+        quantum: float = 2.0,
+    ):
+        """Driver generator: serve the mix for *duration* simulated seconds.
+
+        ``read_fraction`` + ``update_fraction`` <= 1; the remainder are
+        inserts (the YCSB *load* phase is pure inserts).
+        """
+        if read_fraction + update_fraction > 1.0 + 1e-9:
+            raise ConfigError("read_fraction + update_fraction must be <= 1")
+        cfg = self.config
+        stats = self.stats
+        dist = self._transient_lifetime(
+            1.0 - read_fraction - update_fraction, update_fraction
+        )
+        rng = rng_for(jvm.config.seed, "cassandra", jvm.config.gc.value)
+        cores = jvm.config.topology.cores
+        service_threads = min(n_client_threads, cores)
+        groups = max(1, min(service_threads, sim_thread_cap))
+        jvm.world.thread_multiplier = service_threads / groups
+
+        # -- startup: page-touch + commit-log replay ----------------------
+        def startup_body(ctx):
+            touch = jvm.costs.heap_touch_time(jvm.heap.config.young_bytes)
+            if jvm.collector.parallel_young:
+                touch /= min(jvm.costs.effective_threads(jvm.collector.gc_threads), 4.0)
+            yield from ctx.work(touch)
+            if cfg.preload_records > 0:
+                replay_t0 = jvm.now
+                payload = cfg.preload_records * cfg.record_bytes
+                # Replayed commit-log segments come back into memory as
+                # bulk buffers (pretenured straight into the old gen)...
+                self.commitlog.append(payload)
+                yield from self.commitlog.materialize(
+                    lambda b: ctx.allocate_old(b, None, n_objects=1, pinned=True, label="commitlog")
+                )
+                # ...and their mutations rebuild the memtable arenas.
+                self.memtable.write(cfg.preload_records)
+                yield from self.memtable.materialize(
+                    lambda b: ctx.allocate_old(b, None, n_objects=1, pinned=True, label="memtable")
+                )
+                # Replay costs CPU proportional to the data replayed.
+                yield from ctx.work(payload / (200e6))
+                stats.replayed_bytes = payload
+                stats.replay_seconds = jvm.now - replay_t0
+
+        yield from jvm.join([jvm.spawn_mutator(startup_body, "cassandra-startup")])
+        t_serve_start = jvm.now
+        result.extras["serve_start"] = t_serve_start
+
+        # -- serving loop ---------------------------------------------------
+        ops_per_group_quantum = ops_per_second * quantum / groups
+        insert_fraction = 1.0 - read_fraction - update_fraction
+        # Reads allocate far less than writes (no commit-log/memtable path).
+        transient_per_op = cfg.transient_bytes_per_op * (
+            0.35 + 0.65 * (insert_fraction + update_fraction)
+        )
+
+        def worker_body(ctx):
+            while jvm.now - t_serve_start < duration:
+                loop_start = jvm.now
+                ops = ops_per_group_quantum
+                cpu = ops * cfg.cpu_seconds_per_op / jvm.world.thread_multiplier
+                yield from ctx.work(cpu)
+                writes = ops * (insert_fraction + update_fraction)
+                if writes > 0:
+                    upd = (
+                        update_fraction / (insert_fraction + update_fraction)
+                        if insert_fraction + update_fraction > 0
+                        else 0.0
+                    )
+                    self.commitlog.append(writes * cfg.record_bytes)
+                    self.memtable.write(writes, update_fraction=upd)
+                    yield from self.commitlog.materialize(
+                        lambda b: ctx.allocate(b, None, n_objects=1, pinned=True, label="commitlog")
+                    )
+                    yield from self.memtable.materialize(
+                        lambda b: ctx.allocate(b, None, n_objects=1, pinned=True, label="memtable")
+                    )
+                # Transient request garbage (all operations).
+                transient = ops * transient_per_op
+                yield from ctx.allocate(
+                    transient, dist,
+                    n_objects=max(1.0, transient / (2 * KB)),
+                    window=quantum, label="request-garbage",
+                )
+                # Updates dirty old-generation data (card table).
+                jvm.heap.dirty_cards(ops * update_fraction * cfg.record_heap_bytes)
+                # Flush when over the cap (never, in the stress config).
+                if self.memtable.needs_flush:
+                    freed = self.memtable.flush()
+                    self.sstables.add(jvm.now, freed / cfg.heap_overhead_factor,
+                                      self.memtable.record_count)
+                    stats.flushes += 1
+                stats.ops_executed += ops
+                stats.inserts += ops * insert_fraction
+                stats.updates += ops * update_fraction
+                stats.reads += ops * read_fraction
+                # Pace to the offered rate: wait out the rest of the
+                # quantum for new client requests. Time lost to GC pauses
+                # is not caught up (the server saturates instead).
+                elapsed = jvm.now - loop_start
+                if elapsed < quantum:
+                    yield from ctx.idle(quantum - elapsed)
+
+        workers = [
+            jvm.spawn_mutator(worker_body, f"cassandra-w{g}") for g in range(groups)
+        ]
+        yield from jvm.join(workers)
+
+        stats.memtable_bytes_end = self.memtable.heap_bytes
+        stats.commitlog_bytes_end = self.commitlog.heap_bytes
+        stats.flushes = self.memtable.flush_count
+        result.extras["server_stats"] = stats
+        result.extras["sstables"] = self.sstables.count

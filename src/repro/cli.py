@@ -1,0 +1,222 @@
+"""Command-line entry points.
+
+Three commands mirror the paper's workflow:
+
+* ``repro-dacapo``    — run a DaCapo benchmark under a chosen GC and print
+  the per-iteration times plus the GC log;
+* ``repro-cassandra`` — run the Cassandra/YCSB experiment and print the
+  server pause trace and client latency statistics;
+* ``repro-report``    — parse a GC log file (HotSpot-style text, as
+  emitted by ``--gc-log``) and print pause statistics;
+* ``repro-specjbb``   — run the SPECjbb-style warehouse ramp;
+* ``repro-cluster``   — run the multi-node failure-detector study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import GB
+from .analysis.latency import latency_band_stats
+from .analysis.pauses import pause_stats
+from .analysis.report import render_table
+from .cassandra import CassandraServer, default_config, stress_config
+from .jvm import JVM, JVMConfig
+from .jvm.gclog import format_gc_log, parse_gc_log
+from .units import parse_size
+from .workloads.dacapo import ALL_BENCHMARKS, get_benchmark
+from .ycsb import YCSBClient, WORKLOAD_A_LIKE, LOAD_PHASE
+
+
+def _jvm_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gc", default="ParallelOld",
+                        help="collector: Serial|ParNew|Parallel|ParallelOld|CMS|G1")
+    parser.add_argument("--heap", default="16g", help="heap size (-Xmx/-Xms)")
+    parser.add_argument("--young", default=None, help="young size (-Xmn)")
+    parser.add_argument("--no-tlab", action="store_true", help="disable TLABs")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+
+def _build_config(args) -> JVMConfig:
+    from .heap.tlab import TLABConfig
+
+    return JVMConfig(
+        gc=args.gc,
+        heap=parse_size(args.heap),
+        young=parse_size(args.young) if args.young else None,
+        tlab=TLABConfig(enabled=not args.no_tlab),
+        seed=args.seed,
+    )
+
+
+def dacapo_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-dacapo``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dacapo", description="Run a synthetic DaCapo benchmark."
+    )
+    parser.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    parser.add_argument("-n", "--iterations", type=int, default=10)
+    parser.add_argument("--no-system-gc", action="store_true",
+                        help="disable the forced full GC between iterations")
+    parser.add_argument("-t", "--threads", type=int, default=None)
+    parser.add_argument("--gc-log", default=None, help="write a GC log file")
+    _jvm_args(parser)
+    args = parser.parse_args(argv)
+
+    jvm = JVM(_build_config(args))
+    result = jvm.run(
+        get_benchmark(args.benchmark),
+        iterations=args.iterations,
+        system_gc=not args.no_system_gc,
+        threads=args.threads,
+    )
+    print(result.summary())
+    rows = [(i + 1, round(t, 3)) for i, t in enumerate(result.iteration_times)]
+    print(render_table(["iteration", "duration (s)"], rows))
+    if args.gc_log:
+        with open(args.gc_log, "w") as fh:
+            fh.write(format_gc_log(result.gc_log, jvm.config.heap_bytes))
+        print(f"GC log written to {args.gc_log}")
+    return 1 if result.crashed else 0
+
+
+def cassandra_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-cassandra``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cassandra",
+        description="Run the Cassandra server under a YCSB workload.",
+    )
+    parser.add_argument("--phase", choices=["load", "run"], default="load",
+                        help="load = pure inserts; run = 50/50 read-update")
+    parser.add_argument("--stress", action="store_true",
+                        help="paper's stress configuration (nothing flushes)")
+    parser.add_argument("--duration", type=float, default=3600.0,
+                        help="serving time in simulated seconds")
+    parser.add_argument("--ops", type=float, default=1350.0,
+                        help="offered operations per second")
+    _jvm_args(parser)
+    parser.set_defaults(heap="64g", young="12g")
+    args = parser.parse_args(argv)
+
+    config = _build_config(args)
+    heap_bytes = config.heap_bytes
+    cass = stress_config(heap_bytes) if args.stress else default_config(heap_bytes)
+    workload = (LOAD_PHASE if args.phase == "load" else WORKLOAD_A_LIKE).with_(
+        operations_per_second=args.ops
+    )
+    client = YCSBClient(workload, seed=args.seed)
+    trace = client.run(config, cass, duration=args.duration)
+    server = trace.server_result
+    print(server.summary())
+    stats = pause_stats(server.gc_log, server.execution_time)
+    print(render_table(
+        ["#pauses(full)", "avg pause (s)", "total pause (s)", "exec (s)"],
+        [stats.row()],
+    ))
+    for name, sub in (("READ", trace.reads), ("UPDATE", trace.updates)):
+        if len(sub.latencies_ms) == 0:
+            continue
+        bands = latency_band_stats(sub.op_times, sub.latencies_ms, sub.pause_intervals)
+        print(render_table(["metric", name], bands.rows(), title=f"{name} latency"))
+    return 1 if server.crashed else 0
+
+
+def report_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-report``: analyse a GC log file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report", description="Analyse a repro GC log file."
+    )
+    parser.add_argument("logfile")
+    args = parser.parse_args(argv)
+    with open(args.logfile) as fh:
+        log = parse_gc_log(fh.read())
+    if not log.pauses:
+        print("no pauses in log")
+        return 0
+    end = max(p.end for p in log.pauses)
+    stats = pause_stats(log, end)
+    print(log.summary())
+    print(render_table(
+        ["#pauses(full)", "avg pause (s)", "total pause (s)", "span (s)"],
+        [stats.row()],
+    ))
+    return 0
+
+
+def specjbb_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-specjbb``: warehouse throughput ramp."""
+    from .workloads.specjbb import SPECjbbWorkload
+
+    parser = argparse.ArgumentParser(
+        prog="repro-specjbb",
+        description="SPECjbb-style warehouse throughput ramp.",
+    )
+    parser.add_argument("-w", "--warehouses", type=int, nargs="*", default=None,
+                        help="warehouse counts (default: 1..2x cores ramp)")
+    parser.add_argument("-m", "--measure", type=float, default=20.0,
+                        help="measurement seconds per point")
+    _jvm_args(parser)
+    args = parser.parse_args(argv)
+
+    jvm = JVM(_build_config(args))
+    result = jvm.run(SPECjbbWorkload(), warehouses=args.warehouses,
+                     measurement_seconds=args.measure)
+    if result.crashed:
+        print(result.summary())
+        return 1
+    rows = [
+        (p.warehouses, round(p.bops), round(p.gc_pause_seconds, 2),
+         f"{100 * p.gc_pause_seconds / p.elapsed:.1f}%")
+        for p in result.extras["points"]
+    ]
+    print(render_table(
+        ["warehouses", "BOPS", "GC pause (s)", "GC share"],
+        rows, title=f"SPECjbb-style ramp [{jvm.config.gc.value}]",
+    ))
+    print(f"score: {result.extras['score']:.0f} BOPS")
+    return 0
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-cluster``: failure-detector study."""
+    from .cassandra.cluster import ClusterConfig, run_cluster_study
+    from .units import MB
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description="GC pauses vs. the cluster failure detector.",
+    )
+    parser.add_argument("-n", "--nodes", type=int, default=3)
+    parser.add_argument("--duration", type=float, default=3600.0)
+    parser.add_argument("--ops", type=float, default=1350.0)
+    parser.add_argument("--phi-timeout", type=float, default=3.0,
+                        help="failure-detector conviction timeout (s)")
+    _jvm_args(parser)
+    parser.set_defaults(heap="64g", young="12g")
+    args = parser.parse_args(argv)
+
+    cluster = ClusterConfig(n_nodes=args.nodes, failure_timeout=args.phi_timeout)
+    result = run_cluster_study(
+        args.gc, cluster=cluster, duration=args.duration,
+        ops_per_second=args.ops, seed=args.seed,
+        jvm_template=_build_config(args),
+    )
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("collector", result.gc),
+            ("nodes", args.nodes),
+            ("DOWN convictions", len(result.down_events)),
+            ("node-down seconds", round(result.total_unavailable_seconds, 1)),
+            ("availability", f"{100 * result.availability(args.duration):.3f}%"),
+            ("hinted handoff (MB)", round(result.hinted_handoff_bytes / MB, 1)),
+        ],
+        title="Cluster failure-detector study",
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(dacapo_main())

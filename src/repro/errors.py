@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied (bad flag, bad size...)."""
+
+
+class HeapError(ReproError):
+    """Base class for heap-related failures."""
+
+
+class OutOfMemoryError(HeapError):
+    """The simulated JVM ran out of heap even after a full collection.
+
+    Mirrors ``java.lang.OutOfMemoryError``: raised when a full GC cannot
+    free enough space to satisfy an allocation request.
+    """
+
+    def __init__(self, requested: float, free: float, message: str = ""):
+        self.requested = requested
+        self.free = free
+        super().__init__(
+            message
+            or f"Java heap space: requested {requested:.0f} B, free {free:.0f} B"
+        )
+
+
+class AllocationFailure(HeapError):
+    """Internal signal: the young generation cannot satisfy an allocation.
+
+    Caught by the JVM, which then triggers a minor collection (mirroring
+    HotSpot's ``GC (Allocation Failure)`` cause). Not a user-facing error.
+    """
+
+    def __init__(self, requested: float):
+        self.requested = requested
+        super().__init__(f"allocation failure: requested {requested:.0f} B")
+
+
+class PromotionFailure(HeapError):
+    """The old generation cannot absorb the survivors of a minor GC.
+
+    Triggers a full collection (and, for CMS, a concurrent mode failure).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class BenchmarkCrash(ReproError):
+    """A (simulated) benchmark crashed.
+
+    The paper reports that *eclipse*, *tradebeans* and *tradesoap* crashed
+    on every test with OpenJDK 8; their profiles raise this error so the
+    harness can reproduce the paper's benchmark-selection step.
+    """
+
+    def __init__(self, benchmark: str, reason: str = ""):
+        self.benchmark = benchmark
+        super().__init__(f"benchmark {benchmark!r} crashed: {reason or 'incompatible with JDK8'}")

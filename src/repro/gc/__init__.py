@@ -1,0 +1,49 @@
+"""The six OpenJDK 8 garbage collectors (paper Table 1).
+
+Every collector really traces the simulated heap (cohorts + object graph)
+and converts the work it performed into stop-the-world pause durations via
+the machine cost model. Structural properties match HotSpot in OpenJDK 8:
+
+=============  ===========================  =================================
+Collector      Young collection             Old collection
+=============  ===========================  =================================
+Serial         serial copying               serial mark-compact
+ParNew         parallel copying             serial mark-compact
+Parallel       parallel copying (scavenge)  **serial** mark-sweep-compact
+ParallelOld    parallel copying (scavenge)  parallel mark-compact
+CMS            parallel copying (ParNew)    concurrent mark-sweep (STW
+                                            initial-mark + remark), no
+                                            compaction, serial fallback
+G1             parallel evacuation          concurrent marking + mixed
+                                            evacuations; **serial** full GC
+=============  ===========================  =================================
+"""
+
+from .base import Collector, Outcome, STWPause
+from .stats import GCLog, PauseRecord
+from .registry import GCType, create_collector, GC_NAMES
+from .serial import SerialGC
+from .parnew import ParNewGC
+from .parallel import ParallelGC
+from .parallel_old import ParallelOldGC
+from .cms import ConcurrentMarkSweepGC
+from .g1 import G1GC
+from .htm import HTMGC
+
+__all__ = [
+    "Collector",
+    "Outcome",
+    "STWPause",
+    "GCLog",
+    "PauseRecord",
+    "GCType",
+    "GC_NAMES",
+    "create_collector",
+    "SerialGC",
+    "ParNewGC",
+    "ParallelGC",
+    "ParallelOldGC",
+    "ConcurrentMarkSweepGC",
+    "G1GC",
+    "HTMGC",
+]

@@ -1,0 +1,157 @@
+"""ConcurrentMarkSweep: mostly-concurrent old-generation collection.
+
+Young collections are ParNew's. The old generation is collected by a
+concurrent cycle (paper §2, Table 1):
+
+1. **initial mark** (STW): scan roots into the old generation;
+2. **concurrent mark**: trace the old generation alongside mutators;
+3. **remark** (STW): re-scan objects dirtied during concurrent marking
+   (young generation + dirty cards);
+4. **concurrent sweep**: free dead space into free lists — *no
+   compaction*, so fragmentation accumulates until a fallback full GC.
+
+A promotion failure while the cycle cannot keep up is HotSpot's
+*concurrent mode failure*: a **serial** mark-sweep-compact of the whole
+heap, which is where CMS's multi-second (or worse) pauses come from.
+"""
+
+from __future__ import annotations
+
+from .base import Collector, Outcome, STWPause
+from .stats import ConcurrentRecord
+
+
+class ConcurrentMarkSweepGC(Collector):
+    """``-XX:+UseConcMarkSweepGC``."""
+
+    name = "ConcMarkSweepGC"
+    parallel_young = True
+    parallel_full = False  # the fallback full GC is serial
+    tenuring_threshold = 4
+    survivor_target_fraction = 0.35
+    card_scan_weight = 3.0
+    promotion_bw_scale = 0.8
+    overflow_promotion_penalty = 0.25
+    young_fixed_cost = 0.002
+    full_fixed_cost = 0.010
+
+    #: Old-gen occupancy (of effective capacity) that initiates a cycle.
+    initiating_occupancy = 0.75
+    #: Fraction of the young generation re-scanned at remark.
+    remark_young_fraction = 0.3
+    #: Fragmentation added per concurrent sweep cycle (resets at compaction).
+    sweep_fragmentation = 0.004
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.conc_threads = self.costs.default_concurrent_gc_threads()
+        self._state = "idle"  # idle | marking | sweeping
+        self._cycle_gen = 0   # invalidates stale scheduled continuations
+        # CMS free lists tolerate moderate fragmentation before a CMF.
+        self.heap.fragmentation_cap = 0.05
+
+    # ------------------------------------------------------------------
+
+    @property
+    def concurrent_threads_active(self) -> int:
+        return self.conc_threads if self._state != "idle" else 0
+
+    @property
+    def cycle_state(self) -> str:
+        """Current concurrent-cycle state (``idle``/``marking``/``sweeping``)."""
+        return self._state
+
+    def after_minor(self, now, vol, outcome: Outcome) -> None:
+        if self._state != "idle":
+            return
+        old = self.heap.old
+        effective = self.heap.old_effective_capacity
+        if effective <= 0 or old.used / effective < self.initiating_occupancy:
+            return
+        self._start_cycle(now, outcome)
+
+    def _start_cycle(self, now: float, outcome: Outcome) -> None:
+        self._state = "marking"
+        self._cycle_gen += 1
+        gen = self._cycle_gen
+        # Initial mark: roots + direct old references (short STW pause).
+        initial = STWPause(
+            "initial-mark",
+            "CMS Initial Mark",
+            self.costs.stw_duration(
+                n_threads=self._young_threads(),
+                marked=0.05 * self.heap.old.used,
+                fixed=0.005,
+                rate_factor=self._locality(),
+            )
+            * self._jitter(),
+        )
+        outcome.pauses.append(initial)
+        mark_work = self.heap.old_live_bytes(now)
+        mark_duration = max(
+            self.costs.concurrent_duration(marked=mark_work, n_threads=self.conc_threads, rate_factor=self._locality()),
+            0.01,
+        )
+        outcome.concurrent.append(
+            ConcurrentRecord(now, mark_duration, "concurrent-mark", self.name)
+        )
+        outcome.schedule.append(
+            (mark_duration, lambda t, g=gen: self._finish_mark(t, g))
+        )
+
+    def _finish_mark(self, now: float, gen: int) -> Outcome:
+        if gen != self._cycle_gen or self._state != "marking":
+            return Outcome()  # cycle was aborted by a concurrent mode failure
+        outcome = Outcome()
+        remark = STWPause(
+            "remark",
+            "CMS Final Remark",
+            self.costs.stw_duration(
+                n_threads=self._young_threads(),
+                marked=self.remark_young_fraction * self.heap.young_used,
+                cards_scanned=self.heap.dirty_card_bytes * self.card_scan_weight,
+                fixed=0.010,
+                rate_factor=self._locality(),
+            )
+            * self._jitter(),
+        )
+        outcome.pauses.append(remark)
+        self._state = "sweeping"
+        sweep_duration = max(
+            self.costs.concurrent_duration(
+                swept=self.heap.old.used, n_threads=self.conc_threads,
+                rate_factor=self._locality(),
+            ),
+            0.01,
+        )
+        outcome.concurrent.append(
+            ConcurrentRecord(now, sweep_duration, "concurrent-sweep", self.name)
+        )
+        outcome.schedule.append(
+            (sweep_duration, lambda t, g=gen: self._finish_sweep(t, g))
+        )
+        return outcome
+
+    def _finish_sweep(self, now: float, gen: int) -> Outcome:
+        if gen != self._cycle_gen or self._state != "sweeping":
+            return Outcome()
+        self.heap.sweep_old(now, fragmentation_increment=self.sweep_fragmentation)
+        self._state = "idle"
+        return Outcome()
+
+    # ------------------------------------------------------------------
+
+    def _promotion_failure_full(self, now: float) -> STWPause:
+        """Concurrent mode failure: abort the cycle, serial compacting GC."""
+        self._state = "idle"
+        self._cycle_gen += 1
+        return self._full(now, "Concurrent Mode Failure")
+
+    def explicit_gc(self, now: float) -> Outcome:
+        """System.gc(): aborts any running cycle and performs a serial
+        mark-sweep-compact (HotSpot's default without
+        ``-XX:+ExplicitGCInvokesConcurrent``)."""
+        self._state = "idle"
+        self._cycle_gen += 1
+        pause = self._full(now, "System.gc()")
+        return Outcome(pauses=[pause])

@@ -1,0 +1,232 @@
+"""HTM-assisted concurrent collector — the paper's future work (§6).
+
+The paper closes with: "we plan to implement and thoroughly test a
+garbage collector that uses HTM [hardware transactional memory] ... We
+aim to repeat this evaluation of the GC impact on application execution
+and compare the new approach to the current available GCs." This module
+provides that collector in the simulator, modelled on the two HTM
+systems the paper discusses:
+
+* **StackTrack** (Alistarh et al., EuroSys'14): HTM gives collector
+  threads a consistent view of mutator-accessed data without stopping
+  the world, at the price of mutator throughput — "it can also reduce
+  the data structure throughput by up to 50 %".
+* **Collie** (Iyengar et al., ISMM'12): a wait-free compacting collector
+  using HTM; its noted weaknesses are single-threaded collection and a
+  second pass over the object graph that risks "memory exhaustion
+  during a collection".
+
+Model:
+
+* Young and old collections run **concurrently**: the only stop-the-world
+  work is a short *flip* pause (root scan + barrier arm/disarm), a few
+  milliseconds regardless of heap size.
+* While a concurrent evacuation is in flight, mutators pay the HTM tax:
+  transactional read/write-set tracking slows every heap access
+  (:attr:`mutator_overhead`), and the evacuation itself occupies GC
+  threads (CPU steal).
+* Transactions abort under write contention. The abort rate grows with
+  the mutation rate of old data; aborted work is retried, stretching the
+  concurrent phase (:attr:`abort_overhead_factor`).
+* If the heap fills up before a concurrent evacuation finishes (Collie's
+  exhaustion hazard), the collector degrades to a serial STW compaction
+  of the whole heap — the same fallback path as a CMS concurrent mode
+  failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..heap.heap import CollectionVolumes
+from .base import Collector, Outcome, STWPause
+from .stats import ConcurrentRecord
+
+
+class HTMGC(Collector):
+    """Simulated HTM-based concurrent compacting collector.
+
+    Not part of the paper's measured six — this is the collector the
+    paper *proposes to build*; the ``bench_extension_htm`` benchmark runs
+    the comparison the paper planned.
+    """
+
+    name = "HTMGC"
+    parallel_young = True
+    parallel_full = False        # exhaustion fallback is serial (Collie)
+    tenuring_threshold = 4
+    survivor_target_fraction = 0.5
+    card_scan_weight = 1.0
+    young_fixed_cost = 0.002
+    full_fixed_cost = 0.015
+    full_overhead_factor = 1.3   # fallback walks HTM side state
+
+    #: STW flip pause: root scan + read/write barrier arm.
+    flip_pause: float = 0.006
+    #: Permanent mutator slowdown: the HTM read barrier is always armed
+    #: (StackTrack observes up to ~50 % on contended structures; a whole
+    #: application mix sits lower).
+    base_tax: float = 0.15
+    #: Additional slowdown while a concurrent evacuation is in flight
+    #: (write transactions conflict with the copying collector).
+    evacuation_tax: float = 0.10
+    #: Concurrent copying is slower than STW copying: every object move is
+    #: a transaction with validation overhead.
+    htm_copy_factor: float = 0.6
+    #: Extra work from aborted/retried transactions per unit of old-gen
+    #: mutation concurrency.
+    abort_overhead_factor: float = 0.5
+    #: Old-gen occupancy triggering a concurrent old-space compaction.
+    old_trigger: float = 0.6
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.conc_threads = self.costs.default_gc_threads() // 2
+        self._evacuating = False
+        self._old_cycle = False
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def concurrent_threads_active(self) -> int:
+        return self.conc_threads if (self._evacuating or self._old_cycle) else 0
+
+    @property
+    def mutator_overhead(self) -> float:
+        """Fractional mutator slowdown (barriers always armed; worse while
+        an evacuation is in flight)."""
+        if self._evacuating or self._old_cycle:
+            return self.base_tax + self.evacuation_tax
+        return self.base_tax
+
+    # ------------------------------------------------------------------
+
+    def allocation_failure(self, now: float) -> Outcome:
+        outcome = Outcome()
+        pause, vol = self._flip_collection(now)
+        outcome.pauses.append(pause)
+        if vol.promotion_failed:
+            outcome.pauses.append(self._exhaustion_fallback(now))
+            return outcome
+        self._schedule_evacuation(now, vol, outcome)
+        self._maybe_old_cycle(now, outcome)
+        return outcome
+
+    def _flip_collection(self, now: float):
+        """The young collection happens at the flip; only the flip is STW.
+
+        Heap mechanics run eagerly (the evacuation outcome is known at the
+        flip in expectation); the *time* of the copying work is paid
+        concurrently by :meth:`_schedule_evacuation`.
+        """
+        vol = self.heap.minor_collection(
+            now,
+            self._tenuring,
+            survivor_target_fraction=self.survivor_target_fraction,
+        )
+        target = self.target_survivor_ratio * self.heap.survivor.capacity
+        if vol.copied_to_survivor > target:
+            self._tenuring = max(1, self._tenuring - 2)
+        elif self._tenuring < self.tenuring_threshold:
+            self._tenuring += 1
+        duration = (self.flip_pause + self.costs.reference_processing) * self._jitter()
+        return STWPause("young", "HTM Flip", duration, vol), vol
+
+    def _schedule_evacuation(self, now: float, vol: CollectionVolumes,
+                             outcome: Outcome) -> None:
+        copy_work = vol.copied_to_survivor + vol.promoted
+        if copy_work <= 0:
+            return
+        aborts = 1.0 + self.abort_overhead_factor * min(
+            self.heap.dirty_card_bytes / max(copy_work, 1.0), 1.0
+        )
+        duration = max(
+            self.costs.concurrent_duration(
+                marked=copy_work * aborts / self.htm_copy_factor,
+                n_threads=self.conc_threads,
+                rate_factor=self._locality(),
+            ),
+            0.005,
+        )
+        self._evacuating = True
+        self._generation += 1
+        gen = self._generation
+        outcome.concurrent.append(
+            ConcurrentRecord(now, duration, "htm-evacuation", self.name)
+        )
+        outcome.schedule.append((duration, lambda t, g=gen: self._finish(t, g, "evac")))
+
+    def _maybe_old_cycle(self, now: float, outcome: Outcome) -> None:
+        if self._old_cycle:
+            return
+        if self.heap.old.occupancy < self.old_trigger:
+            return
+        live = self.heap.old_live_bytes(now)
+        sweep = self.heap.sweep_old(now, fragmentation_increment=0.0)
+        duration = max(
+            self.costs.concurrent_duration(
+                marked=live / self.htm_copy_factor,
+                n_threads=self.conc_threads,
+                rate_factor=self._locality(),
+            ),
+            0.01,
+        )
+        self._old_cycle = True
+        self._generation += 1
+        gen = self._generation
+        outcome.concurrent.append(
+            ConcurrentRecord(now, duration, "htm-old-compaction", self.name)
+        )
+        outcome.schedule.append((duration, lambda t, g=gen: self._finish(t, g, "old")))
+        _ = sweep  # dead old space is reclaimed concurrently
+
+    def _finish(self, now: float, gen: int, which: str) -> Outcome:
+        if which == "evac":
+            self._evacuating = False
+        else:
+            self._old_cycle = False
+            self.heap.fragmentation = 0.0  # HTM compaction defragments
+        return Outcome()
+
+    # ------------------------------------------------------------------
+
+    def _exhaustion_fallback(self, now: float) -> STWPause:
+        """Collie's hazard: the heap filled mid-collection — serial STW."""
+        self._evacuating = False
+        self._old_cycle = False
+        self._generation += 1
+        return self._full(now, "HTM Exhaustion")
+
+    def explicit_gc(self, now: float) -> Outcome:
+        """System.gc(): run the old compaction concurrently, but honour the
+        contract with a flip-sized pause."""
+        outcome = Outcome()
+        pause, vol = self._flip_collection(now)
+        pause.cause = "System.gc()"
+        outcome.pauses.append(pause)
+        if vol.promotion_failed:
+            outcome.pauses.append(self._exhaustion_fallback(now))
+            return outcome
+        self._schedule_evacuation(now, vol, outcome)
+        if not self._old_cycle:
+            live = self.heap.old_live_bytes(now)
+            self.heap.sweep_old(now, fragmentation_increment=0.0)
+            duration = max(
+                self.costs.concurrent_duration(
+                    marked=live / self.htm_copy_factor,
+                    n_threads=self.conc_threads,
+                    rate_factor=self._locality(),
+                ),
+                0.01,
+            )
+            self._old_cycle = True
+            self._generation += 1
+            gen = self._generation
+            outcome.concurrent.append(
+                ConcurrentRecord(now, duration, "htm-old-compaction", self.name)
+            )
+            outcome.schedule.append(
+                (duration, lambda t, g=gen: self._finish(t, g, "old"))
+            )
+        return outcome

@@ -1,0 +1,34 @@
+"""ParallelGC (Parallel Scavenge): parallel young, **serial** full GC.
+
+The throughput collector *without* ``-XX:+UseParallelOldGC``: young
+collections are parallel, but a full collection is a single-threaded
+mark-sweep-compact of the entire heap. The paper observes exactly this
+(Figure 2(a)): with a forced ``System.gc()`` per iteration, Parallel is
+the second-worst collector "since its full collections are serial".
+"""
+
+from __future__ import annotations
+
+from .base import Collector
+
+
+class ParallelGC(Collector):
+    """``-XX:+UseParallelGC`` (serial old phase)."""
+
+    name = "ParallelGC"
+    parallel_young = True
+    parallel_full = False
+    #: Adaptive size policy keeps survivors resident up to 15 ages.
+    tenuring_threshold = 15
+    survivor_target_fraction = 1.0
+    card_scan_weight = 1.0
+    #: Parallel Scavenge promotion serializes on the expand lock as the
+    #: old generation fills (DESIGN.md §6.5).
+    promotion_degrades = True
+    #: Parallel Scavenge's fallback full GC is not the tuned SerialGC
+    #: mark-sweep-compact: it single-threadedly walks the scavenger's side
+    #: metadata (the paper singles Parallel out as second-worst with
+    #: forced full GCs for exactly this reason).
+    full_overhead_factor = 1.5
+    young_fixed_cost = 0.004
+    full_fixed_cost = 0.010

@@ -1,0 +1,29 @@
+"""ParallelOldGC: parallel young + parallel compacting old generation.
+
+OpenJDK 8's default collector and the paper's baseline. Both young and
+full collections use the parallel GC thread pool, which is why it wins on
+the DaCapo suite — and why its *huge* full collections on a 64 GB
+mostly-live Cassandra heap still take minutes (the parallel compaction
+bandwidth saturates well below linear scaling on the NUMA box).
+"""
+
+from __future__ import annotations
+
+from .base import Collector
+
+
+class ParallelOldGC(Collector):
+    """``-XX:+UseParallelOldGC`` (the JDK 8 default)."""
+
+    name = "ParallelOldGC"
+    parallel_young = True
+    parallel_full = True
+    tenuring_threshold = 15
+    survivor_target_fraction = 1.0
+    card_scan_weight = 1.0
+    promotion_degrades = True
+    young_fixed_cost = 0.004
+    #: ParallelOld's compaction has a *serial* summary phase between the
+    #: parallel marking and compaction phases (region destination
+    #: calculation) — a fixed cost its parallel phases cannot hide.
+    full_fixed_cost = 0.030

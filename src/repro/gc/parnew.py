@@ -1,0 +1,30 @@
+"""ParNewGC: parallel copying young generation, serial mark-compact old.
+
+ParNew is CMS's young-generation collector run standalone (paper Table 1):
+it keeps CMS's early-tenuring behaviour (free-list-friendly promotion
+discipline) but falls back to a *serial* full collection for the old
+generation.
+"""
+
+from __future__ import annotations
+
+from .base import Collector
+
+
+class ParNewGC(Collector):
+    """``-XX:+UseParNewGC`` (without CMS)."""
+
+    name = "ParNewGC"
+    parallel_young = True
+    parallel_full = False
+    #: CMS-style early tenuring (MaxTenuringThreshold defaulted low for
+    #: the CMS family in the JDK 8 era).
+    tenuring_threshold = 4
+    survivor_target_fraction = 0.5
+    #: Old generation is managed with CMS-style free lists: dirty-card
+    #: scanning chases pointers and costs more per byte.
+    card_scan_weight = 3.0
+    promotion_bw_scale = 0.8
+    overflow_promotion_penalty = 0.25
+    young_fixed_cost = 0.002
+    full_fixed_cost = 0.008

@@ -1,0 +1,89 @@
+"""Collector registry: name -> factory, mirroring the JVM's GC flags."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Type
+
+from ..errors import ConfigError
+from .base import Collector
+from .cms import ConcurrentMarkSweepGC
+from .g1 import G1GC
+from .htm import HTMGC
+from .parallel import ParallelGC
+from .parallel_old import ParallelOldGC
+from .parnew import ParNewGC
+from .serial import SerialGC
+
+
+class GCType(enum.Enum):
+    """The six collectors evaluated by the paper (Table 1), plus the
+    HTM-based collector the paper proposes as future work (§6)."""
+
+    SERIAL = "SerialGC"
+    PARNEW = "ParNewGC"
+    PARALLEL = "ParallelGC"
+    PARALLEL_OLD = "ParallelOldGC"
+    CMS = "ConcMarkSweepGC"
+    G1 = "G1GC"
+    HTM = "HTMGC"
+
+
+_REGISTRY: Dict[GCType, Type[Collector]] = {
+    GCType.SERIAL: SerialGC,
+    GCType.PARNEW: ParNewGC,
+    GCType.PARALLEL: ParallelGC,
+    GCType.PARALLEL_OLD: ParallelOldGC,
+    GCType.CMS: ConcurrentMarkSweepGC,
+    GCType.G1: G1GC,
+    GCType.HTM: HTMGC,
+}
+
+#: The paper's six collectors, in its plotting order (the HTM extension
+#: is deliberately excluded — it is the paper's *future work*).
+GC_NAMES = [t.value for t in GCType if t is not GCType.HTM]
+
+_ALIASES = {
+    "serial": GCType.SERIAL,
+    "serialgc": GCType.SERIAL,
+    "parnew": GCType.PARNEW,
+    "parnewgc": GCType.PARNEW,
+    "parallel": GCType.PARALLEL,
+    "parallelgc": GCType.PARALLEL,
+    "parallelold": GCType.PARALLEL_OLD,
+    "paralleloldgc": GCType.PARALLEL_OLD,
+    "cms": GCType.CMS,
+    "concmarksweep": GCType.CMS,
+    "concmarksweepgc": GCType.CMS,
+    "concurrentmarksweep": GCType.CMS,
+    "g1": GCType.G1,
+    "g1gc": GCType.G1,
+    "htm": GCType.HTM,
+    "htmgc": GCType.HTM,
+}
+
+
+def resolve_gc(name) -> GCType:
+    """Resolve a flexible collector name/enum to a :class:`GCType`."""
+    if isinstance(name, GCType):
+        return name
+    key = str(name).replace("-", "").replace("_", "").lower()
+    try:
+        return _ALIASES[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GC {name!r}; choose from {sorted(set(_ALIASES))}"
+        ) from None
+
+
+def create_collector(gc_type, heap, costs, **kwargs) -> Collector:
+    """Instantiate the collector for *gc_type* on *heap* with *costs*.
+
+    Extra keyword arguments (``gc_threads``, ``rng``, ``pause_target`` for
+    G1...) are forwarded to the collector constructor.
+    """
+    gc = resolve_gc(gc_type)
+    cls = _REGISTRY[gc]
+    if gc is not GCType.G1:
+        kwargs.pop("pause_target", None)
+    return cls(heap, costs, **kwargs)

@@ -1,0 +1,26 @@
+"""SerialGC: single-threaded copying young + single-threaded mark-compact old.
+
+The simplest collector: no synchronization anywhere (paper §2, Table 1).
+Its only advantage is the absence of parallel coordination overhead, which
+the paper found to matter less than expected (it won only 4 of 18
+no-pause experiments, §3.3).
+"""
+
+from __future__ import annotations
+
+from .base import Collector
+
+
+class SerialGC(Collector):
+    """``-XX:+UseSerialGC``."""
+
+    name = "SerialGC"
+    parallel_young = False
+    parallel_full = False
+    tenuring_threshold = 15
+    survivor_target_fraction = 1.0
+    card_scan_weight = 1.0
+    #: Minimal bookkeeping, but the single thread still walks the
+    #: same per-collection metadata as ParNew's coordinator.
+    young_fixed_cost = 0.002
+    full_fixed_cost = 0.008

@@ -1,0 +1,43 @@
+"""Simulated JVM heap: generations, TLABs, cohorts and an object graph.
+
+Two complementary resolutions (see DESIGN.md §2):
+
+* **Analytic cohorts** — the bulk of allocated bytes, with closed-form
+  expected survival (O(#cohorts) per collection).
+* **Explicit object graph** — real objects with references, traced by the
+  collectors; used for structured live sets and correctness tests.
+"""
+
+from .lifetime import (
+    Exponential,
+    Fixed,
+    Immortal,
+    LifetimeDistribution,
+    LogNormal,
+    Mixture,
+    Weibull,
+)
+from .cohort import Cohort
+from .object_model import HeapObject, ObjectGraph
+from .spaces import Space, SpaceKind
+from .tlab import TLABConfig, TLABManager
+from .heap import GenerationalHeap, HeapConfig
+
+__all__ = [
+    "LifetimeDistribution",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "Fixed",
+    "Immortal",
+    "Mixture",
+    "Cohort",
+    "HeapObject",
+    "ObjectGraph",
+    "Space",
+    "SpaceKind",
+    "TLABConfig",
+    "TLABManager",
+    "GenerationalHeap",
+    "HeapConfig",
+]

@@ -1,0 +1,538 @@
+"""The generational heap facade.
+
+Wires together spaces, cohorts, the object graph, TLAB accounting and a
+card-table model, and implements the *mechanics* of collections (what
+moves where, what is freed). Collection *policy and timing* live in the
+collectors (:mod:`repro.gc`), which call the ``minor_collection`` /
+``full_collection`` / ``sweep_old`` primitives and convert the returned
+work volumes into pause durations via the machine cost model.
+
+Space accounting invariants (exercised by the property tests):
+
+* ``eden.used`` equals the bytes allocated since the last collection;
+* after a minor collection eden is empty and every surviving byte is in a
+  survivor space or the old generation;
+* allocation never exceeds ``eden.capacity - tlab_waste``;
+* the old generation honours a CMS-style fragmentation factor: its
+  *effective* capacity is ``capacity * (1 - fragmentation)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AllocationFailure, ConfigError, HeapError, PromotionFailure
+from ..units import MB, fmt_bytes
+from .cohort import Cohort
+from .lifetime import LifetimeDistribution
+from .object_model import ObjectGraph
+from .spaces import Space, SpaceKind
+from .tlab import TLABConfig, TLABManager
+
+
+@dataclass(frozen=True)
+class HeapConfig:
+    """Static heap geometry (mirrors ``-Xmx``/``-Xmn``/``-XX:SurvivorRatio``)."""
+
+    heap_bytes: float
+    young_bytes: float
+    survivor_ratio: int = 8  #: eden : survivor = ratio : 1 (two survivors)
+    tlab: TLABConfig = field(default_factory=TLABConfig)
+
+    def __post_init__(self) -> None:
+        if self.heap_bytes <= 0:
+            raise ConfigError("heap_bytes must be positive")
+        if not (0 < self.young_bytes <= self.heap_bytes):
+            raise ConfigError(
+                f"young_bytes must be in (0, heap]: {self.young_bytes} vs {self.heap_bytes}"
+            )
+        if self.survivor_ratio < 1:
+            raise ConfigError("survivor_ratio must be >= 1")
+
+    @property
+    def eden_bytes(self) -> float:
+        """Eden capacity given the survivor ratio."""
+        return self.young_bytes * self.survivor_ratio / (self.survivor_ratio + 2)
+
+    @property
+    def survivor_bytes(self) -> float:
+        """Capacity of *one* survivor semispace."""
+        return self.young_bytes / (self.survivor_ratio + 2)
+
+    @property
+    def old_bytes(self) -> float:
+        """Old-generation capacity."""
+        return self.heap_bytes - self.young_bytes
+
+
+def batch_live_bytes(cohorts: Sequence[Cohort], now: float) -> np.ndarray:
+    """Expected live bytes of every cohort at *now*, vectorized.
+
+    Cohorts are grouped by their (shared) lifetime-distribution object so
+    the scipy survival integrals run once per distribution on an array of
+    ages rather than once per cohort — the hot loop of every collection
+    (see the HPC guide: vectorize the bottleneck).
+    """
+    n = len(cohorts)
+    out = np.zeros(n, dtype=float)
+    groups: dict = {}
+    for i, c in enumerate(cohorts):
+        if c.pinned:
+            out[i] = 0.0 if c.released else c.resident
+        elif c.allocated > 0.0:
+            groups.setdefault(id(c.dist), (c.dist, []))[1].append(i)
+    for dist, idx in groups.values():
+        idx = np.asarray(idx, dtype=np.intp)
+        t0 = np.array([cohorts[i].t0 for i in idx])
+        t1 = np.array([cohorts[i].t1 for i in idx])
+        alloc = np.array([cohorts[i].allocated for i in idx])
+        resident = np.array([cohorts[i].resident for i in idx])
+        eff_now = np.maximum(now, t1)
+        width = t1 - t0
+        hi = dist.integrated_survival(eff_now - t0)
+        lo = dist.integrated_survival(np.maximum(eff_now - t1, 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # Degenerate windows cancel catastrophically; fall back to the
+            # point survival and clamp into [0, 1] (see window_live_fraction).
+            tiny = width <= 1e-9 * np.maximum(1.0, eff_now - t0)
+            frac = np.where(~tiny, (hi - lo) / np.where(width > 0, width, 1.0),
+                            dist.survival(eff_now - t0))
+            frac = np.clip(frac, 0.0, 1.0)
+        out[idx] = np.minimum(resident, alloc * frac)
+    return out
+
+
+def batch_collect(cohorts: Sequence[Cohort], now: float) -> Tuple[float, List[Cohort]]:
+    """Collect every cohort in *cohorts* (age + drop dead bytes), vectorized.
+
+    Semantics match calling :meth:`Cohort.collect` on each cohort (including
+    the tail cutoff); returns ``(freed_bytes, surviving_cohorts)``.
+    """
+    lives = batch_live_bytes(cohorts, now)
+    freed = 0.0
+    survivors: List[Cohort] = []
+    cutoff = Cohort.TAIL_CUTOFF
+    for c, live in zip(cohorts, lives):
+        if not c.pinned and live <= max(cutoff * c.allocated, 0.5):
+            live = 0.0
+        freed += c.resident - live
+        c.resident = live
+        c.age += 1
+        if not c.is_dead:
+            survivors.append(c)
+    return freed, survivors
+
+
+@dataclass
+class CollectionVolumes:
+    """Work volumes of one collection, in bytes (input to the cost model)."""
+
+    kind: str = "minor"            #: "minor" | "full" | "sweep"
+    eden_freed: float = 0.0
+    survivor_freed: float = 0.0
+    old_freed: float = 0.0
+    copied_to_survivor: float = 0.0   #: includes survivor-space re-copying
+    promoted: float = 0.0
+    marked: float = 0.0               #: live bytes traced
+    compacted: float = 0.0            #: live bytes slid/moved in old gen
+    swept: float = 0.0                #: bytes walked by a free-list sweep
+    cards_scanned: float = 0.0        #: dirty-card-covered old bytes scanned
+    #: Promoted bytes made of *small* objects (the expensive free-list
+    #: case); bulk arena blocks promote via single free-list insertions.
+    promoted_small: float = 0.0
+    old_occupancy_before: float = 0.0
+    promotion_failed: bool = False
+
+    @property
+    def total_freed(self) -> float:
+        """All bytes reclaimed by this collection."""
+        return self.eden_freed + self.survivor_freed + self.old_freed
+
+
+class GenerationalHeap:
+    """A generational heap with analytic cohorts plus an object graph."""
+
+    def __init__(self, config: HeapConfig, n_mutator_threads: int = 1):
+        self.config = config
+        self.eden = Space("eden", SpaceKind.EDEN, config.eden_bytes)
+        self.survivor = Space("survivor", SpaceKind.SURVIVOR, config.survivor_bytes)
+        self.old = Space("old", SpaceKind.OLD, config.old_bytes)
+        self.eden_cohorts: List[Cohort] = []
+        self.survivor_cohorts: List[Cohort] = []
+        self.old_cohorts: List[Cohort] = []
+        self.graph = ObjectGraph()
+        self.tlabs = TLABManager(config.tlab, config.eden_bytes, n_mutator_threads)
+        #: Nominal young geometry (updated by :meth:`resize_young`); the
+        #: live capacities may deviate temporarily when survivor overflow
+        #: borrows eden space (to-space overflow).
+        self._nominal_eden = self.eden.capacity
+        self._nominal_survivor = self.survivor.capacity
+        #: CMS-style old-gen fragmentation in [0, fragmentation_cap].
+        self.fragmentation = 0.0
+        self.fragmentation_cap = 0.25
+        #: Old-gen bytes covered by dirty cards since the last young GC.
+        self.dirty_card_bytes = 0.0
+        self._last_minor_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def eden_free(self) -> float:
+        """Eden bytes still allocatable (TLAB waste reserved)."""
+        return self.eden.capacity - self.tlabs.expected_waste - self.eden.used
+
+    @property
+    def young_used(self) -> float:
+        """Bytes in eden + survivor."""
+        return self.eden.used + self.survivor.used
+
+    @property
+    def old_effective_capacity(self) -> float:
+        """Old capacity usable given current fragmentation."""
+        return self.old.capacity * (1.0 - self.fragmentation)
+
+    @property
+    def old_free_effective(self) -> float:
+        """Promotable headroom in the old generation."""
+        return max(0.0, self.old_effective_capacity - self.old.used)
+
+    @property
+    def used(self) -> float:
+        """Total heap bytes occupied."""
+        return self.young_used + self.old.used
+
+    def live_estimate(self, now: float) -> float:
+        """Expected live bytes across the whole heap at *now*."""
+        total = self.graph.total_bytes
+        for coll in (self.eden_cohorts, self.survivor_cohorts, self.old_cohorts):
+            total += float(batch_live_bytes(coll, now).sum())
+        return total
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self,
+        now: float,
+        n_bytes: float,
+        dist: Optional[LifetimeDistribution] = None,
+        *,
+        n_objects: float = 1.0,
+        pinned: bool = False,
+        label: str = "",
+        window: float = 0.0,
+    ) -> Cohort:
+        """Allocate a cohort of *n_bytes* in eden.
+
+        Raises :class:`~repro.errors.AllocationFailure` when eden cannot fit
+        the request — the JVM reacts by triggering a minor collection and
+        retrying, exactly like HotSpot's ``GC (Allocation Failure)``.
+        """
+        if n_bytes < 0:
+            raise ConfigError("cannot allocate negative bytes")
+        if n_bytes > self.eden_free + 1e-6:
+            raise AllocationFailure(n_bytes)
+        cohort = Cohort(
+            now - window, now, n_bytes, dist,
+            n_objects=n_objects, pinned=pinned, label=label,
+        )
+        self.eden.add(n_bytes)
+        self.eden_cohorts.append(cohort)
+        return cohort
+
+    def allocate_old(
+        self,
+        now: float,
+        n_bytes: float,
+        dist: Optional[LifetimeDistribution] = None,
+        *,
+        n_objects: float = 1.0,
+        pinned: bool = False,
+        label: str = "",
+    ) -> Cohort:
+        """Allocate directly in the old generation (humongous objects).
+
+        Raises :class:`~repro.errors.PromotionFailure` when the effective
+        old capacity cannot fit the request.
+        """
+        if n_bytes > self.old_free_effective + 1e-6:
+            raise PromotionFailure(
+                f"old gen cannot fit humongous {fmt_bytes(n_bytes)}"
+            )
+        cohort = Cohort(now, now, n_bytes, dist, n_objects=n_objects,
+                        pinned=pinned, label=label)
+        cohort.age = 10 ** 6  # never "tenured" again
+        self.old.add(n_bytes)
+        self.old_cohorts.append(cohort)
+        return cohort
+
+    def allocate_object(self, size: float, refs=(), root: bool = False):
+        """Allocate an explicit graph object in eden (fine-grained model).
+
+        Raises :class:`~repro.errors.AllocationFailure` when eden is full,
+        like :meth:`allocate`.
+        """
+        if size > self.eden_free + 1e-6:
+            raise AllocationFailure(size)
+        obj = self.graph.allocate(size, refs=refs, root=root)
+        self.eden.add(size)
+        return obj
+
+    def dirty_cards(self, n_bytes: float) -> None:
+        """Record *n_bytes* of old-generation data written by mutators.
+
+        Young collections of CMS/ParNew (and G1 via remembered sets) must
+        scan this volume; it is the physical source of the paper's
+        young-generation-size anomaly (DESIGN.md §6.3).
+        """
+        if n_bytes < 0:
+            raise ConfigError("dirty_cards takes non-negative bytes")
+        self.dirty_card_bytes = min(
+            self.dirty_card_bytes + n_bytes, self.old.used
+        )
+
+    # ------------------------------------------------------------------
+    # Collection mechanics
+    # ------------------------------------------------------------------
+
+    def minor_collection(
+        self,
+        now: float,
+        tenuring_threshold: int,
+        *,
+        survivor_target_fraction: float = 1.0,
+    ) -> CollectionVolumes:
+        """Evacuate the young generation.
+
+        Survivors below the tenuring threshold are copied to the survivor
+        space (oldest cohorts promoted first on overflow, as HotSpot does);
+        the rest are promoted. Returns the work volumes; sets
+        ``promotion_failed`` (leaving survivors conservatively promoted as
+        far as possible) when the old generation cannot absorb them —
+        callers then run a full collection.
+        """
+        vol = CollectionVolumes(kind="minor")
+        vol.old_occupancy_before = self.old.occupancy
+        vol.cards_scanned = self.dirty_card_bytes
+
+        # 1. Age cohorts and find survivors (vectorized over cohorts).
+        eden_freed, eden_survivors = batch_collect(self.eden_cohorts, now)
+        surv_freed, surv_survivors = batch_collect(self.survivor_cohorts, now)
+        vol.eden_freed += eden_freed
+        vol.survivor_freed += surv_freed
+        candidates: List[Cohort] = eden_survivors + surv_survivors
+
+        # 2. Object graph young collection.
+        g = self.graph.minor_collect(tenuring_threshold)
+        vol.eden_freed += g.freed_bytes
+        vol.copied_to_survivor += g.copied_bytes
+        vol.promoted += g.promoted_bytes
+        vol.cards_scanned += g.cards_scanned_bytes
+        graph_survivor_bytes = g.copied_bytes
+
+        # 3. Tenuring + survivor-space packing (oldest promoted first).
+        survivor_cap = max(
+            0.0, self.survivor.capacity * survivor_target_fraction - graph_survivor_bytes
+        )
+        tenured = [c for c in candidates if c.age > tenuring_threshold]
+        keep = [c for c in candidates if c.age <= tenuring_threshold]
+        keep.sort(key=lambda c: c.age)  # youngest first: oldest overflow first
+        packed: List[Cohort] = []
+        packed_bytes = 0.0
+        for c in keep:
+            if packed_bytes + c.resident <= survivor_cap:
+                packed.append(c)
+                packed_bytes += c.resident
+            else:
+                tenured.append(c)
+        vol.copied_to_survivor += packed_bytes
+
+        # 4. Promote tenured cohorts into the old generation.
+        promoted_bytes = sum(c.resident for c in tenured)
+        vol.promoted += promoted_bytes
+        vol.promoted_small += g.promoted_bytes + sum(
+            c.resident for c in tenured if c.mean_object_size() < 256 * 1024
+        )
+        total_promoted = vol.promoted
+        if total_promoted > self.old_free_effective + 1e-6:
+            vol.promotion_failed = True
+            # Promote what fits; the caller must follow with a full GC.
+            fits: List[Cohort] = []
+            room = self.old_free_effective
+            for c in sorted(tenured, key=lambda c: -c.age):
+                if c.resident <= room:
+                    fits.append(c)
+                    room -= c.resident
+                else:
+                    packed.append(c)  # stranded in survivor bookkeeping
+                    packed_bytes += c.resident
+            tenured = fits
+            promoted_bytes = sum(c.resident for c in tenured)
+
+        # 5. Commit the move.
+        self.eden_cohorts = []
+        self.survivor_cohorts = packed
+        for c in tenured:
+            self.old_cohorts.append(c)
+        self.eden.reset()
+        self.survivor.used = 0.0
+        self._commit_survivor(packed_bytes + graph_survivor_bytes)
+        if promoted_bytes + g.promoted_bytes > 0:
+            self.old.add(min(promoted_bytes + g.promoted_bytes, self.old.free))
+
+        # Promoted data starts out with some dirty references into young.
+        self.dirty_card_bytes = 0.15 * (promoted_bytes + g.promoted_bytes)
+        vol.marked = vol.copied_to_survivor + vol.promoted
+        self._last_minor_at = now
+        return vol
+
+    def full_collection(self, now: float, *, compacting: bool = True) -> CollectionVolumes:
+        """Collect every generation.
+
+        All young survivors are promoted to the old generation (as HotSpot
+        full GCs do); dead old bytes are reclaimed. With ``compacting=True``
+        the old generation is slid (fragmentation resets to zero); with
+        ``compacting=False`` (CMS foreground mark-sweep) the space is freed
+        in place and fragmentation persists.
+        """
+        vol = CollectionVolumes(kind="full")
+        vol.old_occupancy_before = self.old.occupancy
+
+        eden_freed, eden_survivors = batch_collect(self.eden_cohorts, now)
+        surv_freed, surv_survivors = batch_collect(self.survivor_cohorts, now)
+        old_freed, old_live = batch_collect(self.old_cohorts, now)
+        vol.eden_freed += eden_freed
+        vol.survivor_freed += surv_freed
+        vol.old_freed += old_freed
+        survivors: List[Cohort] = eden_survivors + surv_survivors
+
+        g = self.graph.full_collect()
+        vol.eden_freed += g.freed_bytes  # graph doesn't split young/old freed
+        cohort_live = sum(c.resident for c in survivors) + sum(
+            c.resident for c in old_live
+        )
+        live = cohort_live + self.graph.total_bytes
+        vol.marked = live
+        vol.swept = self.old.used + self.young_used
+        if compacting:
+            vol.compacted = live
+            self.fragmentation = 0.0
+
+        if live > self.config.heap_bytes + 1e-6:
+            raise HeapError(
+                f"live data {fmt_bytes(live)} exceeds heap "
+                f"{fmt_bytes(self.config.heap_bytes)}"
+            )
+        # Promote young survivors into the compacted old gen, oldest first;
+        # whatever does not fit stays in the young generation (HotSpot keeps
+        # live young data in place when the old gen is tight).
+        room = self.old.capacity - (
+            sum(c.resident for c in old_live) + self.graph.old_bytes
+        )
+        promoted_cohorts: List[Cohort] = []
+        stranded: List[Cohort] = []
+        for c in sorted(survivors, key=lambda c: -c.age):
+            if c.resident <= room:
+                promoted_cohorts.append(c)
+                room -= c.resident
+            else:
+                stranded.append(c)
+        vol.promoted = sum(c.resident for c in promoted_cohorts) + g.promoted_bytes
+
+        self.eden_cohorts = []
+        self.survivor_cohorts = stranded
+        self.old_cohorts = old_live + promoted_cohorts
+        self.eden.reset()
+        stranded_bytes = sum(c.resident for c in stranded)
+        self.survivor.used = 0.0
+        self._commit_survivor(stranded_bytes)
+        self.old.used = min(
+            sum(c.resident for c in self.old_cohorts) + self.graph.old_bytes,
+            self.old.capacity,
+        )
+        self.dirty_card_bytes = 0.0
+        return vol
+
+    def _commit_survivor(self, survivor_bytes: float) -> None:
+        """Install post-collection survivor contents, handling overflow.
+
+        Survivor bytes beyond the nominal semispace capacity ("to-space
+        overflow") borrow eden capacity, so total young capacity is
+        conserved — eden shrinks and allocations fail sooner, which is
+        exactly the thrashing HotSpot exhibits when live data barely fits
+        the heap (paper Table 3, 250 MB rows).
+        """
+        overflow = max(0.0, survivor_bytes - self._nominal_survivor)
+        self.survivor.capacity = self._nominal_survivor + overflow
+        self.survivor.add(survivor_bytes)
+        self.eden.capacity = max(self._nominal_eden - overflow, 0.0)
+        self.tlabs.eden_capacity = max(self.eden.capacity, 1.0)
+
+    def sweep_old(self, now: float, *, fragmentation_increment: float = 0.02) -> CollectionVolumes:
+        """CMS-style concurrent sweep of the old generation (no moving).
+
+        Frees dead old bytes in place and increases fragmentation.
+        """
+        vol = CollectionVolumes(kind="sweep")
+        vol.old_occupancy_before = self.old.occupancy
+        vol.swept = self.old.used
+        vol.old_freed, self.old_cohorts = batch_collect(self.old_cohorts, now)
+        self.old.remove(min(vol.old_freed, self.old.used))
+        if vol.old_freed > 0:
+            self.fragmentation = min(
+                self.fragmentation_cap, self.fragmentation + fragmentation_increment
+            )
+        return vol
+
+    def old_live_bytes(self, now: float) -> float:
+        """Expected live bytes currently in the old generation."""
+        return float(batch_live_bytes(self.old_cohorts, now).sum()) + self.graph.old_bytes
+
+    # ------------------------------------------------------------------
+    # Dynamic young sizing (G1)
+    # ------------------------------------------------------------------
+
+    def resize_young(self, new_young_bytes: float) -> None:
+        """Resize the young generation (G1's pause-target policy).
+
+        Only legal right after a collection, while eden is empty. The old
+        generation receives/cedes the complementary capacity.
+        """
+        if self.eden.used > 0:
+            raise HeapError("resize_young requires an empty eden")
+        new_young_bytes = min(max(new_young_bytes, 1 * MB), self.config.heap_bytes * 0.6)
+        ratio = self.config.survivor_ratio
+        eden_cap = new_young_bytes * ratio / (ratio + 2)
+        surv_cap = new_young_bytes / (ratio + 2)
+        if surv_cap < self.survivor.used:
+            surv_cap = self.survivor.used
+            eden_cap = max(new_young_bytes - 2 * surv_cap, 1 * MB)
+        old_cap = self.config.heap_bytes - (eden_cap + 2 * surv_cap)
+        if old_cap < self.old.used:
+            return  # old gen too full to shrink; keep current geometry
+        self.eden.resize(eden_cap)
+        self.survivor.resize(surv_cap)
+        self.old.resize(old_cap)
+        self._nominal_eden = eden_cap
+        self._nominal_survivor = surv_cap
+        self.tlabs.eden_capacity = eden_cap
+
+    def check_invariants(self, now: float) -> None:
+        """Raise on accounting drift (used by tests and debug runs)."""
+        eden_resident = sum(c.resident for c in self.eden_cohorts)
+        if eden_resident - 1e-3 > self.eden.used:
+            raise HeapError(
+                f"eden cohorts {eden_resident} exceed eden.used {self.eden.used}"
+            )
+        old_resident = sum(c.resident for c in self.old_cohorts) + self.graph.old_bytes
+        if old_resident - 1e-3 > self.old.used + 1e-3:
+            raise HeapError(
+                f"old cohorts {old_resident} exceed old.used {self.old.used}"
+            )
+        self.graph.check_invariants()

@@ -1,0 +1,287 @@
+"""Explicit heap objects with references, write barrier and remembered set.
+
+This is the fine-grained half of the heap model (DESIGN.md §2): real
+objects forming a graph, really traced by the collectors. Workloads use it
+for their structured live sets; the test suite uses it to check collector
+correctness (reachability is preserved, garbage is reclaimed, bytes are
+conserved).
+
+Generations are tracked per object (``gen`` is ``"young"`` or ``"old"``).
+Old→young references are recorded in a remembered set via the write
+barrier, exactly like HotSpot's card table: a minor collection scans only
+the young generation plus the remembered set, never the whole old
+generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..errors import ConfigError, HeapError
+
+YOUNG = "young"
+OLD = "old"
+
+
+class HeapObject:
+    """A simulated heap object: size in bytes plus outgoing references."""
+
+    __slots__ = ("oid", "size", "refs", "age", "gen")
+
+    def __init__(self, oid: int, size: float, refs: Iterable[int] = ()):
+        self.oid = oid
+        self.size = float(size)
+        self.refs: List[int] = list(refs)
+        self.age = 0
+        self.gen = YOUNG
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Obj #{self.oid} {self.size:.0f}B {self.gen} age={self.age}>"
+
+
+@dataclass
+class GraphCollectResult:
+    """Work volumes of a collection over the object graph (bytes/objects)."""
+
+    scanned_bytes: float = 0.0
+    copied_bytes: float = 0.0      # survivors that stayed young
+    promoted_bytes: float = 0.0    # survivors moved to old
+    freed_bytes: float = 0.0
+    freed_objects: int = 0
+    cards_scanned_bytes: float = 0.0  # remembered-set source bytes scanned
+
+
+class ObjectGraph:
+    """Object store + roots + remembered set with a write barrier.
+
+    All mutations of the reference structure must go through
+    :meth:`set_ref` / :meth:`add_ref` / :meth:`clear_refs` so the
+    remembered set stays correct — exactly the discipline a JVM's barrier
+    enforces.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self.objects: Dict[int, HeapObject] = {}
+        self.roots: Set[int] = set()
+        #: Old objects that may hold references into the young generation.
+        self.remset: Set[int] = set()
+        self.young_bytes = 0.0
+        self.old_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    # Allocation & roots
+    # ------------------------------------------------------------------
+
+    def allocate(self, size: float, refs: Iterable[int] = (), root: bool = False) -> HeapObject:
+        """Create a young object of *size* bytes referencing *refs*.
+
+        Space accounting is the caller's (the heap's) responsibility; the
+        graph only tracks the object structure and per-generation totals.
+        """
+        if size < 0:
+            raise ConfigError("object size must be >= 0")
+        obj = HeapObject(next(self._ids), size)
+        self.objects[obj.oid] = obj
+        self.young_bytes += obj.size
+        for dst in refs:
+            self.add_ref(obj.oid, dst)
+        if root:
+            self.roots.add(obj.oid)
+        return obj
+
+    def add_root(self, oid: int) -> None:
+        """Pin *oid* as a GC root (thread stack / static field)."""
+        self._get(oid)
+        self.roots.add(oid)
+
+    def remove_root(self, oid: int) -> None:
+        """Unpin a root; the object becomes collectable if unreferenced."""
+        self.roots.discard(oid)
+
+    # ------------------------------------------------------------------
+    # Reference mutation (write barrier)
+    # ------------------------------------------------------------------
+
+    def add_ref(self, src: int, dst: int) -> None:
+        """Append a reference ``src -> dst`` (with write barrier)."""
+        s, d = self._get(src), self._get(dst)
+        s.refs.append(dst)
+        self._barrier(s, d)
+
+    def set_ref(self, src: int, index: int, dst: Optional[int]) -> None:
+        """Overwrite reference slot *index* of *src* (with write barrier)."""
+        s = self._get(src)
+        if not (0 <= index < len(s.refs)):
+            raise ConfigError(f"ref index {index} out of range for {src}")
+        if dst is None:
+            del s.refs[index]
+            return
+        d = self._get(dst)
+        s.refs[index] = dst
+        self._barrier(s, d)
+
+    def clear_refs(self, src: int) -> None:
+        """Drop all outgoing references of *src*."""
+        self._get(src).refs.clear()
+
+    def _barrier(self, src: HeapObject, dst: HeapObject) -> None:
+        if src.gen == OLD and dst.gen == YOUNG:
+            self.remset.add(src.oid)
+
+    def _get(self, oid: int) -> HeapObject:
+        try:
+            return self.objects[oid]
+        except KeyError:
+            raise HeapError(f"dangling object id {oid}") from None
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def _trace(self, seeds: Iterable[int], young_only: bool) -> Set[int]:
+        """Iterative BFS from *seeds*; optionally stays inside young gen."""
+        live: Set[int] = set()
+        stack = [oid for oid in seeds if oid in self.objects]
+        while stack:
+            oid = stack.pop()
+            if oid in live:
+                continue
+            obj = self.objects.get(oid)
+            if obj is None:
+                continue
+            if young_only and obj.gen != YOUNG:
+                continue
+            live.add(oid)
+            stack.extend(obj.refs)
+        return live
+
+    def reachable_all(self) -> Set[int]:
+        """All objects reachable from the roots."""
+        return self._trace(self.roots, young_only=False)
+
+    def young_seeds(self) -> Set[int]:
+        """Seeds for a minor trace: roots plus remembered-set targets."""
+        seeds: Set[int] = set(self.roots)
+        for src in self.remset:
+            obj = self.objects.get(src)
+            if obj is not None:
+                seeds.update(obj.refs)
+        return seeds
+
+    def reachable_young(self) -> Set[int]:
+        """Young objects reachable from roots or the remembered set."""
+        return self._trace(self.young_seeds(), young_only=True)
+
+    # ------------------------------------------------------------------
+    # Collections
+    # ------------------------------------------------------------------
+
+    def minor_collect(self, tenuring_threshold: int) -> GraphCollectResult:
+        """Collect the young generation of the graph.
+
+        Unreachable young objects are freed; survivors age, and those past
+        *tenuring_threshold* are promoted (their young references enter the
+        remembered set). Returns the work volumes for the cost model.
+        """
+        res = GraphCollectResult()
+        # Cost of scanning remembered-set sources (the "card scan").
+        for src in self.remset:
+            obj = self.objects.get(src)
+            if obj is not None:
+                res.cards_scanned_bytes += obj.size
+        live = self.reachable_young()
+        young = [o for o in self.objects.values() if o.gen == YOUNG]
+        promoted: List[HeapObject] = []
+        for obj in young:
+            if obj.oid in live:
+                res.scanned_bytes += obj.size
+                obj.age += 1
+                if obj.age > tenuring_threshold:
+                    promoted.append(obj)
+                    res.promoted_bytes += obj.size
+                else:
+                    res.copied_bytes += obj.size
+            else:
+                res.freed_bytes += obj.size
+                res.freed_objects += 1
+                self.young_bytes -= obj.size
+                del self.objects[obj.oid]
+        for obj in promoted:
+            obj.gen = OLD
+            self.young_bytes -= obj.size
+            self.old_bytes += obj.size
+            if any(
+                d in self.objects and self.objects[d].gen == YOUNG for d in obj.refs
+            ):
+                self.remset.add(obj.oid)
+        self._clean_remset()
+        return res
+
+    def full_collect(self) -> GraphCollectResult:
+        """Collect the whole graph: free unreachable objects everywhere and
+        promote all young survivors (as HotSpot's full GCs do)."""
+        res = GraphCollectResult()
+        live = self.reachable_all()
+        for obj in list(self.objects.values()):
+            if obj.oid in live:
+                res.scanned_bytes += obj.size
+                if obj.gen == YOUNG:
+                    res.promoted_bytes += obj.size
+                    obj.gen = OLD
+                    self.young_bytes -= obj.size
+                    self.old_bytes += obj.size
+            else:
+                res.freed_bytes += obj.size
+                res.freed_objects += 1
+                if obj.gen == YOUNG:
+                    self.young_bytes -= obj.size
+                else:
+                    self.old_bytes -= obj.size
+                del self.objects[obj.oid]
+        self.remset.clear()  # no young objects remain referenced from old
+        self._clean_remset()
+        return res
+
+    def _clean_remset(self) -> None:
+        """Drop remembered-set entries that no longer point into young."""
+        stale = []
+        for src in self.remset:
+            obj = self.objects.get(src)
+            if obj is None or obj.gen != OLD:
+                stale.append(src)
+                continue
+            if not any(
+                d in self.objects and self.objects[d].gen == YOUNG for d in obj.refs
+            ):
+                stale.append(src)
+        for src in stale:
+            self.remset.discard(src)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes held by graph objects (young + old)."""
+        return self.young_bytes + self.old_bytes
+
+    def check_invariants(self) -> None:
+        """Raise :class:`HeapError` if internal accounting is inconsistent.
+
+        Used by tests and debug runs; O(#objects).
+        """
+        yb = sum(o.size for o in self.objects.values() if o.gen == YOUNG)
+        ob = sum(o.size for o in self.objects.values() if o.gen == OLD)
+        if abs(yb - self.young_bytes) > 1e-3 or abs(ob - self.old_bytes) > 1e-3:
+            raise HeapError(
+                f"graph byte accounting drift: young {self.young_bytes} vs {yb}, "
+                f"old {self.old_bytes} vs {ob}"
+            )
+        for src in self.remset:
+            obj = self.objects.get(src)
+            if obj is not None and obj.gen != OLD:
+                raise HeapError(f"remset contains non-old object {src}")

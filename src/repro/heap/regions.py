@@ -1,0 +1,64 @@
+"""G1 region geometry.
+
+G1 divides the heap into equal fixed-size regions; HotSpot's ergonomic
+picks a power-of-two size so that the heap holds about 2048 regions,
+clamped to [1 MB, 32 MB]. Objects larger than half a region are
+*humongous* and are allocated directly in (old) humongous regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import MB
+
+
+def ergonomic_region_size(heap_bytes: float) -> float:
+    """HotSpot's region-size ergonomic: ~heap/2048, power of two, 1-32 MB."""
+    if heap_bytes <= 0:
+        raise ConfigError("heap_bytes must be positive")
+    target = heap_bytes / 2048.0
+    size = 1 * MB
+    while size * 2 <= target and size < 32 * MB:
+        size *= 2
+    return float(size)
+
+
+@dataclass(frozen=True)
+class RegionTable:
+    """Static region geometry for a G1 heap."""
+
+    heap_bytes: float
+    region_size: float
+
+    @classmethod
+    def for_heap(cls, heap_bytes: float) -> "RegionTable":
+        """Build the table with the ergonomic region size."""
+        return cls(heap_bytes=float(heap_bytes), region_size=ergonomic_region_size(heap_bytes))
+
+    def __post_init__(self) -> None:
+        if self.region_size <= 0 or self.heap_bytes <= 0:
+            raise ConfigError("region_size and heap_bytes must be positive")
+        if self.region_size > self.heap_bytes:
+            raise ConfigError("region_size larger than the heap")
+
+    @property
+    def total_regions(self) -> int:
+        """Number of regions the heap is divided into."""
+        return max(1, int(self.heap_bytes // self.region_size))
+
+    @property
+    def humongous_threshold(self) -> float:
+        """Objects at least this large are humongous (half a region)."""
+        return self.region_size / 2.0
+
+    def regions_for(self, n_bytes: float) -> int:
+        """Regions needed to hold *n_bytes* (ceiling)."""
+        if n_bytes < 0:
+            raise ConfigError("n_bytes must be >= 0")
+        return int(-(-n_bytes // self.region_size))
+
+    def bytes_for(self, n_regions: int) -> float:
+        """Capacity of *n_regions* regions."""
+        return n_regions * self.region_size

@@ -1,0 +1,90 @@
+"""Heap spaces: byte-accounted arenas making up the generations.
+
+A :class:`Space` tracks capacity and usage; the heap wires eden, two
+survivor semispaces and the old generation together. Spaces do not know
+about cohorts or objects — they are pure accounting, which keeps the
+occupancy invariants easy to state and test.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError, HeapError
+
+
+class SpaceKind(enum.Enum):
+    """Logical role of a space within the generational heap."""
+
+    EDEN = "eden"
+    SURVIVOR = "survivor"
+    OLD = "old"
+
+
+class Space:
+    """A byte-accounted heap arena.
+
+    Invariant: ``0 <= used <= capacity`` at all times (enforced).
+    """
+
+    __slots__ = ("name", "kind", "capacity", "used")
+
+    def __init__(self, name: str, kind: SpaceKind, capacity: float):
+        if capacity < 0:
+            raise ConfigError(f"space {name!r}: negative capacity")
+        self.name = name
+        self.kind = kind
+        self.capacity = float(capacity)
+        self.used = 0.0
+
+    @property
+    def free(self) -> float:
+        """Unused bytes."""
+        return self.capacity - self.used
+
+    @property
+    def occupancy(self) -> float:
+        """Used fraction in [0, 1] (0 for a zero-capacity space)."""
+        return self.used / self.capacity if self.capacity > 0 else 0.0
+
+    def can_fit(self, n_bytes: float) -> bool:
+        """Whether *n_bytes* more would fit."""
+        return n_bytes <= self.free + 1e-6
+
+    def add(self, n_bytes: float) -> None:
+        """Occupy *n_bytes*; raises :class:`HeapError` on overflow."""
+        if n_bytes < 0:
+            raise ConfigError("add() takes non-negative bytes")
+        if n_bytes > self.free + 1e-6:
+            raise HeapError(
+                f"space {self.name!r} overflow: used {self.used:.0f} + {n_bytes:.0f}"
+                f" > capacity {self.capacity:.0f}"
+            )
+        self.used = min(self.used + n_bytes, self.capacity)
+
+    def remove(self, n_bytes: float) -> None:
+        """Release *n_bytes*; raises :class:`HeapError` on underflow."""
+        if n_bytes < 0:
+            raise ConfigError("remove() takes non-negative bytes")
+        if n_bytes > self.used + 1e-6:
+            raise HeapError(
+                f"space {self.name!r} underflow: used {self.used:.0f} - {n_bytes:.0f}"
+            )
+        self.used = max(self.used - n_bytes, 0.0)
+
+    def reset(self) -> None:
+        """Empty the space (evacuation complete)."""
+        self.used = 0.0
+
+    def resize(self, new_capacity: float) -> None:
+        """Change capacity; refuses to shrink below current usage."""
+        if new_capacity < 0:
+            raise ConfigError("negative capacity")
+        if new_capacity + 1e-6 < self.used:
+            raise HeapError(
+                f"cannot shrink {self.name!r} to {new_capacity:.0f} < used {self.used:.0f}"
+            )
+        self.capacity = float(new_capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Space {self.name} {self.used:.0f}/{self.capacity:.0f}B>"

@@ -1,0 +1,76 @@
+"""Thread-Local Allocation Buffers (TLABs).
+
+TLABs trade allocation-path cost for space: each thread bump-allocates in
+a private eden chunk (no synchronization) but leaves, on average, half a
+buffer unused when eden fills, and pays a CAS per refill. We model:
+
+* the *space* effect as an eden reservation (``expected_waste``), which
+  makes collections slightly more frequent — this is what lets TLABs
+  occasionally *hurt* (paper Table 4);
+* the *time* effect through
+  :meth:`repro.machine.costs.CostModel.alloc_overhead`.
+
+HotSpot sizes TLABs adaptively: eden / (allocating threads × target
+refills). We reproduce that ergonomic as the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+from ..units import KB, MB
+
+
+@dataclass(frozen=True)
+class TLABConfig:
+    """TLAB settings (mirrors ``-XX:+UseTLAB`` and ``-XX:TLABSize``)."""
+
+    enabled: bool = True
+    #: Fixed TLAB size in bytes, or ``None`` for HotSpot-style adaptive
+    #: sizing (eden / (threads * target_refills)).
+    size: Optional[float] = None
+    #: Adaptive sizing targets this many refills per thread per young GC.
+    target_refills: int = 50
+    min_size: float = 16 * KB
+    max_size: float = 4 * MB
+
+    def __post_init__(self) -> None:
+        if self.size is not None and self.size <= 0:
+            raise ConfigError("TLAB size must be positive")
+        if self.target_refills < 1:
+            raise ConfigError("target_refills must be >= 1")
+
+
+class TLABManager:
+    """Computes TLAB sizing and expected waste for a heap + thread count."""
+
+    def __init__(self, config: TLABConfig, eden_capacity: float, n_threads: int):
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        self.config = config
+        self.eden_capacity = float(eden_capacity)
+        self.n_threads = int(n_threads)
+
+    @property
+    def tlab_size(self) -> float:
+        """Effective per-thread TLAB size in bytes (0 when disabled)."""
+        if not self.config.enabled:
+            return 0.0
+        if self.config.size is not None:
+            return float(self.config.size)
+        adaptive = self.eden_capacity / (self.n_threads * self.config.target_refills)
+        return float(min(max(adaptive, self.config.min_size), self.config.max_size))
+
+    @property
+    def expected_waste(self) -> float:
+        """Eden bytes expected to be stranded in half-full TLABs at GC time.
+
+        Half a buffer per allocating thread, capped at 10 % of eden so a
+        pathological thread count cannot consume the whole nursery.
+        """
+        if not self.config.enabled:
+            return 0.0
+        waste = 0.5 * self.tlab_size * self.n_threads
+        return float(min(waste, 0.10 * self.eden_capacity))

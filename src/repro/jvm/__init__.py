@@ -1,0 +1,28 @@
+"""The simulated JVM: configuration, mutator threads, safepoints, GC log.
+
+:class:`JVM` glues the heap, a collector, the machine model and the DES
+kernel together and runs workloads. It is the main entry point of the
+library::
+
+    from repro import JVM, JVMConfig
+    from repro.workloads.dacapo import get_benchmark
+
+    jvm = JVM(JVMConfig(gc="ParallelOld", heap="16g", young="5600m"))
+    result = jvm.run(get_benchmark("xalan"), iterations=10, system_gc=True)
+    print(result.gc_log.summary())
+"""
+
+from .flags import JVMConfig
+from .jvm import JVM, RunResult
+from .threads import MutatorContext, World
+from .gclog import format_gc_log, parse_gc_log
+
+__all__ = [
+    "JVM",
+    "JVMConfig",
+    "RunResult",
+    "World",
+    "MutatorContext",
+    "format_gc_log",
+    "parse_gc_log",
+]

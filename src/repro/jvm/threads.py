@@ -1,0 +1,330 @@
+"""Mutator threads, safepoints and the stop-the-world protocol.
+
+:class:`World` owns the global execution state of the simulated JVM:
+which mutators exist, whether a stop-the-world pause is in progress, and
+the GC log. Mutators are DES processes wrapped in a
+:class:`MutatorContext` that provides the two primitives every workload
+is written in terms of:
+
+* ``yield from ctx.work(cpu_seconds)`` — compute for a given amount of
+  CPU time (stretched when concurrent GC threads steal cores, paused for
+  the duration of any STW pause — implemented with process interrupts);
+* ``cohort = yield from ctx.allocate(bytes, dist, ...)`` — allocate in
+  eden, paying the allocation-path cost and triggering a garbage
+  collection on allocation failure, exactly like a JVM allocation site.
+
+The stop-the-world protocol mirrors HotSpot's safepoints: the GC
+initiator flags the world stopped, interrupts all running mutators, waits
+time-to-safepoint, executes the collector's pauses, then releases
+everyone. GCs requested while another is in progress wait for it (and the
+allocation is retried afterwards).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import OutOfMemoryError, PromotionFailure, AllocationFailure
+from ..gc.base import Outcome
+from ..gc.stats import GCLog, PauseRecord
+from ..heap.lifetime import LifetimeDistribution
+from ..sim import Engine, Interrupt
+from ..units import KB
+
+
+class World:
+    """Global JVM execution state: mutators, safepoints, GC log."""
+
+    def __init__(self, engine: Engine, heap, collector, costs, gc_log: GCLog, n_cores: int):
+        self.engine = engine
+        self.heap = heap
+        self.collector = collector
+        self.costs = costs
+        self.gc_log = gc_log
+        self.n_cores = int(n_cores)
+        self.stw = False
+        self.gc_in_progress = False
+        self._resume_event = None
+        self.mutators: List["MutatorContext"] = []
+        self.total_stw_time = 0.0
+        #: Logical application threads represented by each mutator process.
+        #: Workloads may simulate k threads per process ("thread groups")
+        #: for speed; CPU sharing and allocation contention stay faithful
+        #: to the logical thread count.
+        self.thread_multiplier = 1.0
+
+    # ------------------------------------------------------------------
+
+    def register(self, ctx: "MutatorContext") -> None:
+        """Track a mutator context for safepoint interruption."""
+        self.mutators.append(ctx)
+
+    def alive_mutators(self) -> int:
+        """Number of live mutator threads."""
+        return sum(1 for m in self.mutators if m.alive)
+
+    def running_mutators(self) -> int:
+        """Live mutators that are not parked at a safepoint."""
+        return sum(1 for m in self.mutators if m.alive and not m.parked)
+
+    def mutator_speed(self) -> float:
+        """Per-thread execution speed in [0, 1].
+
+        Concurrent GC threads steal cores; more runnable mutators than
+        available cores time-share.
+        """
+        conc = self.collector.concurrent_threads_active
+        available = max(self.n_cores - conc, 1)
+        running = max(self.alive_mutators() * self.thread_multiplier, 1.0)
+        speed = min(1.0, available / running)
+        return speed / (1.0 + self.collector.mutator_overhead)
+
+    def logical_threads(self) -> int:
+        """Logical application thread count (for contention modelling)."""
+        return max(1, int(round(self.alive_mutators() * self.thread_multiplier)))
+
+    # ------------------------------------------------------------------
+    # Stop-the-world cycle
+    # ------------------------------------------------------------------
+
+    def gc_cycle(
+        self,
+        current: Optional["MutatorContext"],
+        trigger: Callable[[float], Outcome],
+        *,
+        must_run: bool = False,
+    ):
+        """Generator: run a GC interaction under a stop-the-world pause.
+
+        If a GC is already in progress: waits for it, then either returns
+        (``must_run=False`` — the caller retries its allocation against the
+        freshly-collected heap) or runs *trigger* anyway (``must_run=True``
+        — scheduled concurrent continuations such as a CMS remark).
+        """
+        engine = self.engine
+        while self.gc_in_progress or self.stw:
+            yield from self._park(current)
+            if not must_run:
+                return
+        self.gc_in_progress = True
+        self.stw = True
+        self._resume_event = engine.event()
+        for m in self.mutators:
+            if m is not current and m.alive and not m.parked:
+                m.process.interrupt("safepoint")
+        tts = self.costs.time_to_safepoint(self.logical_threads())
+        yield engine.timeout(tts)
+        try:
+            outcome = trigger(engine.now)
+            yield from self._execute_outcome(outcome)
+        finally:
+            self.stw = False
+            self.gc_in_progress = False
+            event, self._resume_event = self._resume_event, None
+            event.succeed()
+
+    def _execute_outcome(self, outcome: Outcome):
+        engine = self.engine
+        for pause in outcome.pauses:
+            start = engine.now
+            yield engine.timeout(pause.duration)
+            vol = pause.volumes
+            self.gc_log.record(
+                PauseRecord(
+                    start=start,
+                    duration=pause.duration,
+                    kind=pause.kind,
+                    cause=pause.cause,
+                    collector=self.collector.name,
+                    heap_used_before=(self.heap.used + vol.total_freed) if vol else self.heap.used,
+                    heap_used_after=self.heap.used,
+                    promoted=vol.promoted if vol else 0.0,
+                )
+            )
+            self.total_stw_time += pause.duration
+        for rec in outcome.concurrent:
+            self.gc_log.record_concurrent(rec)
+        for delay, fn in outcome.schedule:
+            engine.process(self._scheduled_continuation(delay, fn))
+
+    def _scheduled_continuation(self, delay: float, fn: Callable[[float], Outcome]):
+        yield self.engine.timeout(delay)
+        yield from self.gc_cycle(None, fn, must_run=True)
+
+    def _park(self, ctx: Optional["MutatorContext"]):
+        """Wait until the current STW/GC episode is over."""
+        if ctx is not None:
+            ctx.parked = True
+        try:
+            while self.stw or self.gc_in_progress:
+                event = self._resume_event
+                if event is None:
+                    break
+                yield event
+        finally:
+            if ctx is not None:
+                ctx.parked = False
+
+
+class MutatorContext:
+    """One simulated application thread."""
+
+    #: Default mean object size used to estimate object counts for the
+    #: allocation-path cost when the caller does not provide one.
+    DEFAULT_OBJECT_SIZE = 4 * KB
+
+    def __init__(self, world: World, name: str = "mutator"):
+        self.world = world
+        self.name = name
+        self.parked = False
+        self.alive = True
+        self.process = None  # set by JVM.spawn_mutator
+        self.allocated_bytes = 0.0
+        self.alloc_overhead_time = 0.0
+
+    # ------------------------------------------------------------------
+
+    def work(self, cpu_seconds: float):
+        """Generator: execute *cpu_seconds* of application work.
+
+        Stretches under concurrent-GC CPU steal and transparently absorbs
+        stop-the-world interruptions.
+        """
+        remaining = float(cpu_seconds)
+        engine = self.world.engine
+        while remaining > 1e-12:
+            if self.world.stw:
+                yield from self.world._park(self)
+            speed = self.world.mutator_speed()
+            start = engine.now
+            try:
+                yield engine.timeout(remaining / speed)
+                remaining = 0.0
+            except Interrupt:
+                remaining -= (engine.now - start) * speed
+                yield from self.world._park(self)
+
+    def allocate_old(
+        self,
+        n_bytes: float,
+        dist: Optional[LifetimeDistribution] = None,
+        *,
+        n_objects: Optional[float] = None,
+        pinned: bool = False,
+        label: str = "",
+    ):
+        """Generator: allocate directly in the old generation.
+
+        For bulk, known-long-lived data (commit-log replay buffers,
+        arena-style memtable chunks) that HotSpot would pretenure. Falls
+        back to a full GC and finally :class:`OutOfMemoryError` when the
+        old generation cannot make room.
+        """
+        world = self.world
+        heap = world.heap
+        if n_objects is None:
+            n_objects = max(1.0, n_bytes / self.DEFAULT_OBJECT_SIZE)
+        attempts = 0
+        while True:
+            if world.stw or world.gc_in_progress:
+                yield from world._park(self)
+            try:
+                cohort = heap.allocate_old(
+                    world.engine.now, n_bytes, dist,
+                    n_objects=n_objects, pinned=pinned, label=label,
+                )
+                self.allocated_bytes += n_bytes
+                return cohort
+            except PromotionFailure:
+                attempts += 1
+                if attempts > 3:
+                    raise OutOfMemoryError(n_bytes, heap.old_free_effective)
+                yield from world.gc_cycle(self, world.collector.explicit_gc)
+
+    def idle(self, seconds: float):
+        """Generator: wait for *seconds* of wall time (e.g. for requests).
+
+        Unlike :meth:`work`, idling is not stretched by concurrent-GC CPU
+        steal — but stop-the-world interruptions still elapse inside it
+        (a waiting thread simply observes the pause passing).
+        """
+        engine = self.world.engine
+        deadline = engine.now + float(seconds)
+        while engine.now < deadline - 1e-12:
+            try:
+                yield engine.timeout(deadline - engine.now)
+            except Interrupt:
+                yield from self.world._park(self)
+
+    def allocate(
+        self,
+        n_bytes: float,
+        dist: Optional[LifetimeDistribution] = None,
+        *,
+        n_objects: Optional[float] = None,
+        pinned: bool = False,
+        label: str = "",
+        window: float = 0.0,
+    ):
+        """Generator: allocate a cohort of *n_bytes*, GC-ing as needed.
+
+        Returns the :class:`~repro.heap.cohort.Cohort`. Raises
+        :class:`~repro.errors.OutOfMemoryError` when repeated collections
+        cannot make room.
+        """
+        world = self.world
+        heap = world.heap
+        if n_objects is None:
+            n_objects = max(1.0, n_bytes / self.DEFAULT_OBJECT_SIZE)
+        cost = world.costs.alloc_overhead(
+            n_bytes=n_bytes,
+            n_objects=n_objects,
+            tlab_enabled=heap.tlabs.config.enabled,
+            tlab_size=heap.tlabs.tlab_size or 1.0,
+            n_threads=world.logical_threads(),
+        )
+        if cost > 0:
+            self.alloc_overhead_time += cost
+            yield from self.work(cost)
+        attempts = 0
+        while True:
+            if world.stw or world.gc_in_progress:
+                yield from world._park(self)
+            # Humongous *objects* go straight to the old generation
+            # (G1's half-region rule; other collectors only bypass eden
+            # for objects that could never fit it). A batch of small
+            # objects stays in eden unless the batch itself cannot fit.
+            mean_size = n_bytes / max(n_objects, 1.0)
+            if (mean_size >= world.collector.humongous_threshold()
+                    or n_bytes > heap.eden.capacity * 0.8):
+                try:
+                    cohort = heap.allocate_old(
+                        world.engine.now, n_bytes, dist,
+                        n_objects=n_objects, pinned=pinned, label=label,
+                    )
+                    self.allocated_bytes += n_bytes
+                    return cohort
+                except PromotionFailure:
+                    attempts += 1
+                    if attempts > 3:
+                        raise OutOfMemoryError(n_bytes, heap.old_free_effective)
+                    yield from world.gc_cycle(self, world.collector.explicit_gc)
+                    continue
+            try:
+                cohort = heap.allocate(
+                    world.engine.now, n_bytes, dist,
+                    n_objects=n_objects, pinned=pinned, label=label, window=window,
+                )
+                self.allocated_bytes += n_bytes
+                return cohort
+            except AllocationFailure:
+                attempts += 1
+                if attempts > 4:
+                    raise OutOfMemoryError(n_bytes, heap.eden_free)
+                yield from world.gc_cycle(
+                    self, world.collector.allocation_failure
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "parked" if self.parked else ("alive" if self.alive else "done")
+        return f"<MutatorContext {self.name} {state}>"

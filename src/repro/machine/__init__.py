@@ -1,0 +1,14 @@
+"""Multicore machine model: topology and GC/allocation cost model.
+
+The paper's experiments ran on a 48-core, 4-socket server (2 NUMA nodes
+per socket, 6 cores per node, 64 GB RAM). :class:`MachineTopology`
+describes such a box; :class:`CostModel` converts GC *work* (bytes
+marked / copied / compacted, cards scanned...) into simulated *time*,
+including parallel efficiency with a NUMA remote-access penalty in the
+spirit of Gidra et al.'s scalability studies.
+"""
+
+from .topology import MachineTopology, PAPER_SERVER, PAPER_CLIENT
+from .costs import CostModel
+
+__all__ = ["MachineTopology", "CostModel", "PAPER_SERVER", "PAPER_CLIENT"]

@@ -1,0 +1,99 @@
+"""Machine topology: cores, sockets, NUMA nodes, caches, RAM.
+
+Only the quantities that influence the cost model are represented:
+core/socket/NUMA counts (parallel efficiency, remote-access penalty) and
+total RAM (maximum heap). Cache sizes are carried for documentation and
+for the cache-locality term of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..units import GB, KB, MB
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """A NUMA multicore machine.
+
+    Parameters mirror the paper's experimental setup (§3.1): cores are
+    distributed over sockets, each socket holding ``numa_nodes_per_socket``
+    NUMA nodes of ``cores_per_numa_node`` cores each.
+    """
+
+    name: str = "generic"
+    sockets: int = 1
+    numa_nodes_per_socket: int = 1
+    cores_per_numa_node: int = 4
+    ram_bytes: float = 16 * GB
+    l1_bytes: float = 64 * KB
+    l2_bytes: float = 512 * KB
+    l3_bytes_per_numa_node: float = 8 * MB
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.numa_nodes_per_socket < 1 or self.cores_per_numa_node < 1:
+            raise ConfigError("topology counts must be >= 1")
+        if self.ram_bytes <= 0:
+            raise ConfigError("ram_bytes must be positive")
+
+    @property
+    def numa_nodes(self) -> int:
+        """Total NUMA node count."""
+        return self.sockets * self.numa_nodes_per_socket
+
+    @property
+    def cores(self) -> int:
+        """Total hardware-thread count (the paper's box has no SMT)."""
+        return self.numa_nodes * self.cores_per_numa_node
+
+    def nodes_spanned(self, n_threads: int) -> int:
+        """How many NUMA nodes *n_threads* threads occupy (packed placement).
+
+        Thread placement is modelled as packed: threads fill one NUMA node
+        before spilling onto the next, which matches the default Linux
+        scheduler behaviour closely enough for the efficiency model.
+        """
+        if n_threads <= 0:
+            raise ConfigError("n_threads must be >= 1")
+        n_threads = min(n_threads, self.cores)
+        return -(-n_threads // self.cores_per_numa_node)  # ceil division
+
+    def sockets_spanned(self, n_threads: int) -> int:
+        """How many sockets *n_threads* threads occupy (packed placement)."""
+        per_socket = self.numa_nodes_per_socket * self.cores_per_numa_node
+        n_threads = min(max(n_threads, 1), self.cores)
+        return -(-n_threads // per_socket)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"{self.name}: {self.cores} cores, {self.sockets} sockets x "
+            f"{self.numa_nodes_per_socket} NUMA nodes x {self.cores_per_numa_node} cores, "
+            f"{self.ram_bytes / GB:.0f} GB RAM"
+        )
+
+
+#: The paper's server (§3.1): 48 cores over 4 sockets, 2 NUMA nodes per
+#: socket, 6 cores each, 64 GB RAM, 1.5 MB L1 / 6 MB L2 per core and
+#: 12 MB L3 per NUMA node (sizes as reported in the paper).
+PAPER_SERVER = MachineTopology(
+    name="paper-48core",
+    sockets=4,
+    numa_nodes_per_socket=2,
+    cores_per_numa_node=6,
+    ram_bytes=64 * GB,
+    l1_bytes=1.5 * MB,
+    l2_bytes=6 * MB,
+    l3_bytes_per_numa_node=12 * MB,
+)
+
+#: The paper's YCSB client machine (§4): 16 cores, 8 GB RAM.
+PAPER_CLIENT = MachineTopology(
+    name="paper-16core-client",
+    sockets=2,
+    numa_nodes_per_socket=1,
+    cores_per_numa_node=8,
+    ram_bytes=8 * GB,
+)

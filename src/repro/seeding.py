@@ -1,0 +1,41 @@
+"""Deterministic seed derivation.
+
+Seeding ``numpy.random.default_rng`` with a *list* whose trailing entries
+are shared across runs (``[seed, salt_a, salt_b]``) produces visibly
+correlated first draws across nearby ``seed`` values. We instead mix all
+parts into a single 63-bit integer with a splitmix-style hash, which gives
+well-dispersed, reproducible streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+_MASK = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """splitmix64 finalizer."""
+    x &= _MASK
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK
+    return x ^ (x >> 31)
+
+
+def derive_seed(*parts) -> int:
+    """Hash integers and strings into one well-dispersed RNG seed."""
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        if isinstance(part, str):
+            value = zlib.crc32(part.encode())
+        else:
+            value = int(part)
+        acc = _mix(acc ^ _mix(value))
+    return acc & ((1 << 63) - 1)
+
+
+def rng_for(*parts) -> np.random.Generator:
+    """A numpy Generator seeded from the mixed *parts*."""
+    return np.random.default_rng(derive_seed(*parts))

@@ -1,0 +1,20 @@
+"""Minimal discrete-event simulation kernel.
+
+A small, dependency-free subset of the classic process-based DES style
+(generators as processes, ``yield Timeout(dt)``), sufficient to drive the
+simulated JVM: mutator threads, concurrent GC phases and safepoints.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` — event queue + simulated clock.
+* :class:`~repro.sim.process.Event` — one-shot triggerable event.
+* :class:`~repro.sim.process.Timeout` — event firing after a delay.
+* :class:`~repro.sim.process.Process` — a generator coroutine; supports
+  interrupts (used to stop mutators at safepoints).
+* :class:`~repro.sim.process.Interrupt` — exception thrown into a process.
+"""
+
+from .engine import Engine
+from .process import AnyOf, Event, Interrupt, Process, Timeout
+
+__all__ = ["Engine", "Event", "Timeout", "Process", "Interrupt", "AnyOf"]

@@ -1,0 +1,5 @@
+"""Synthetic workloads: the Workload protocol and allocation profiles."""
+
+from .base import AllocationProfile, Workload
+
+__all__ = ["Workload", "AllocationProfile"]

@@ -1,0 +1,29 @@
+"""Synthetic DaCapo 9.12 benchmark suite (paper §2.1, §3).
+
+Fourteen allocation profiles mirror the published threading modes and
+memory behaviour of the 2009 DaCapo benchmarks; three of them
+(*eclipse*, *tradebeans*, *tradesoap*) crash on OpenJDK 8 exactly as the
+paper reports, and the rest carry the run-to-run variance that drives the
+paper's stable-subset selection (Table 2).
+"""
+
+from .harness import DaCapoBenchmark
+from .profiles import DaCapoProfile, PROFILES
+from .suite import (
+    ALL_BENCHMARKS,
+    CRASHING_BENCHMARKS,
+    STABLE_SUBSET,
+    get_benchmark,
+    select_stable_subset,
+)
+
+__all__ = [
+    "DaCapoBenchmark",
+    "DaCapoProfile",
+    "PROFILES",
+    "ALL_BENCHMARKS",
+    "CRASHING_BENCHMARKS",
+    "STABLE_SUBSET",
+    "get_benchmark",
+    "select_stable_subset",
+]

@@ -1,0 +1,143 @@
+"""The DaCapo harness: iterations, warm-up rounds and System.gc().
+
+Mirrors the real harness's behaviour as used by the paper (§2.1, §3.1):
+
+* ``iterations`` runs per invocation (the paper uses 10); all but the
+  last are warm-up rounds, the last is the measured run;
+* with ``system_gc=True`` (DaCapo's default) a full collection is forced
+  between every two iterations;
+* by default one client thread per hardware thread (the ``-t`` option can
+  override it).
+
+For speed, up to ``sim_thread_cap`` DES processes simulate the logical
+threads ("thread groups"); CPU sharing, TLAB waste and allocation-lock
+contention are computed against the *logical* thread count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import BenchmarkCrash
+from ...seeding import rng_for
+from ...units import GB
+from ..base import LiveSet, Workload
+from .profiles import DaCapoProfile, PROFILES
+
+
+class DaCapoBenchmark(Workload):
+    """One synthetic DaCapo benchmark, runnable on a :class:`~repro.jvm.JVM`."""
+
+    def __init__(self, profile: DaCapoProfile):
+        self.profile = profile
+        self.name = profile.name
+
+    # ------------------------------------------------------------------
+
+    def drive(
+        self,
+        jvm,
+        result,
+        iterations: int = 10,
+        system_gc: bool = True,
+        threads: Optional[int] = None,
+        sim_thread_cap: int = 8,
+        quanta_per_iteration: int = 6,
+    ):
+        """Driver generator (see :class:`~repro.workloads.base.Workload`)."""
+        p = self.profile
+        if p.crashes:
+            raise BenchmarkCrash(p.name)
+        # Every distinct JVM invocation gets an independent noise stream
+        # (the paper's TLAB comparison runs the JVM twice per cell).
+        rng_parts = [jvm.config.seed, p.name, jvm.config.gc.value]
+        if not jvm.config.tlab.enabled:
+            rng_parts.append("no-tlab")
+        rng = rng_for(*rng_parts)
+        cores = jvm.config.topology.cores
+        n_threads = threads if threads is not None else p.threads_for(cores)
+        groups = max(1, min(n_threads, sim_thread_cap))
+        jvm.world.thread_multiplier = n_threads / groups
+        dist = p.alloc.lifetime()
+        run_mult = float(np.exp(rng.normal(0.0, p.sigma_run)))
+        warm_mult = float(np.exp(rng.normal(0.0, p.sigma_warmup))) if p.sigma_warmup else 1.0
+
+        # -- setup: page-touch the nursery and build the live set --------
+        live = LiveSet(p.alloc.live_set_bytes, label=f"{p.name}-live")
+        touch = jvm.costs.heap_touch_time(
+            jvm.heap.config.young_bytes + 2 * p.alloc.live_set_bytes
+        )
+        if jvm.collector.parallel_young:
+            touch /= min(jvm.costs.effective_threads(jvm.collector.gc_threads), 4.0)
+
+        def setup_body(ctx):
+            yield from ctx.work(touch)
+            if live.total_bytes > 0:
+                yield from live.allocate_body(ctx, p.alloc.mean_object_size)
+
+        yield from jvm.join([jvm.spawn_mutator(setup_body, "setup")])
+
+        # -- iterations ---------------------------------------------------
+        per_thread_alloc = p.alloc.alloc_bytes_per_iteration / n_threads
+        for it in range(iterations):
+            t_start = jvm.now
+            if system_gc and it > 0:
+                yield from jvm.system_gc()
+            is_final = it == iterations - 1
+            iter_mult = run_mult * float(np.exp(rng.normal(0.0, p.sigma_iteration)))
+            if not is_final:
+                iter_mult *= warm_mult
+
+            def worker_body(ctx, mult=iter_mult):
+                quanta = quanta_per_iteration
+                cpu = p.iteration_wall_seconds * mult / quanta
+                batch = per_thread_alloc * jvm.world.thread_multiplier / quanta
+                # Keep single allocations small relative to eden so tiny
+                # heaps (Table 3's 250 MB rows) see realistic granularity.
+                max_piece = max(jvm.heap.config.eden_bytes / 8.0, 64 * 1024)
+                for _q in range(quanta):
+                    yield from ctx.work(cpu)
+                    remaining = batch
+                    while remaining > 0:
+                        piece = min(remaining, max_piece)
+                        yield from ctx.allocate(
+                            piece, dist,
+                            n_objects=max(1.0, piece / p.alloc.mean_object_size),
+                            window=cpu, label=p.name,
+                        )
+                        remaining -= piece
+
+            procs = [
+                jvm.spawn_mutator(worker_body, f"{p.name}-w{g}") for g in range(groups)
+            ]
+            yield from jvm.join(procs)
+
+            # Live-set churn + old-generation mutation.
+            if p.alloc.live_churn_fraction > 0 and live.chunks:
+                def churn_body(ctx):
+                    yield from live.churn_body(
+                        ctx, p.alloc.live_churn_fraction, p.alloc.mean_object_size, rng
+                    )
+                yield from jvm.join([jvm.spawn_mutator(churn_body, "churn")])
+            if p.alloc.old_mutation_fraction > 0:
+                jvm.heap.dirty_cards(p.alloc.old_mutation_fraction * live.resident_bytes)
+
+            result.iteration_times.append(jvm.now - t_start)
+
+        result.extras["n_threads"] = n_threads
+        result.extras["groups"] = groups
+        result.extras["live_set_bytes"] = live.resident_bytes
+
+
+def get_benchmark(name: str) -> DaCapoBenchmark:
+    """Look up a benchmark by name (raises ConfigError for unknown names)."""
+    from ...errors import ConfigError
+
+    try:
+        return DaCapoBenchmark(PROFILES[name])
+    except KeyError:
+        raise ConfigError(
+            f"unknown DaCapo benchmark {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,97 @@
+"""Suite registry and the paper's stable-subset selection (§3.2).
+
+The paper runs every benchmark 10 times under the baseline configuration
+and keeps those whose final-iteration or total-execution-time relative
+standard deviation stays under 5 % — plus batik, accepted because one of
+its two metrics is stable. :func:`select_stable_subset` re-runs that
+methodology on the synthetic suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import BenchmarkCrash
+from .harness import DaCapoBenchmark
+from .profiles import PROFILES
+
+#: All 14 benchmark names, alphabetical (paper §2.1).
+ALL_BENCHMARKS: List[str] = sorted(PROFILES)
+
+#: Benchmarks that crash on OpenJDK 8 (paper §3.2).
+CRASHING_BENCHMARKS: List[str] = sorted(
+    name for name, p in PROFILES.items() if p.crashes
+)
+
+#: The paper's selected stable subset (Table 2).
+STABLE_SUBSET: List[str] = ["h2", "tomcat", "xalan", "jython", "pmd", "luindex", "batik"]
+
+
+def get_benchmark(name: str) -> DaCapoBenchmark:
+    """Construct the benchmark workload for *name*."""
+    from .harness import get_benchmark as _get
+
+    return _get(name)
+
+
+def select_stable_subset(
+    run_fn,
+    *,
+    runs: int = 10,
+    iterations: int = 10,
+    threshold: float = 0.05,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, dict]:
+    """Re-run the paper's benchmark-selection methodology.
+
+    ``run_fn(benchmark_name, seed) -> RunResult`` executes one run (the
+    caller chooses the JVM configuration; the paper uses the baseline).
+    Returns ``{name: {"rsd_final": .., "rsd_total": .., "crashed": ..,
+    "stable": ..}}``. A benchmark is *stable* when at least one of the two
+    RSDs is under *threshold* (the paper accepts benchmarks "stable for at
+    least one characteristic").
+    """
+    out: Dict[str, dict] = {}
+    names = list(benchmarks) if benchmarks is not None else ALL_BENCHMARKS
+    for name in names:
+        finals: List[float] = []
+        totals: List[float] = []
+        crashed = False
+        for r in range(runs):
+            try:
+                result = run_fn(name, r)
+            except BenchmarkCrash:
+                crashed = True
+                break
+            if result.crashed:
+                crashed = True
+                break
+            finals.append(result.final_iteration_time)
+            totals.append(result.execution_time)
+        if crashed:
+            out[name] = {
+                "rsd_final": float("nan"),
+                "rsd_total": float("nan"),
+                "crashed": True,
+                "stable": False,
+            }
+            continue
+        rsd_final = _rsd(finals)
+        rsd_total = _rsd(totals)
+        out[name] = {
+            "rsd_final": rsd_final,
+            "rsd_total": rsd_total,
+            "crashed": False,
+            "stable": (rsd_final < threshold) or (rsd_total < threshold),
+        }
+    return out
+
+
+def _rsd(values: Sequence[float]) -> float:
+    """Relative standard deviation (sample std / mean)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2 or arr.mean() == 0:
+        return float("nan")
+    return float(arr.std(ddof=1) / arr.mean())

@@ -1,0 +1,171 @@
+"""SPECjbb2005-style throughput workload.
+
+A second workload family alongside DaCapo: SPECjbb models a wholesale
+company — one *warehouse* per thread running business transactions in a
+closed loop, with throughput (business operations per second, "BOPS")
+measured per warehouse count as the count ramps up to and beyond the
+machine's core count.
+
+Memory behaviour per the benchmark's published profile:
+
+* every transaction allocates transient order/line-item objects
+  (``alloc_bytes_per_tx``), almost all of which die young;
+* each warehouse owns a resident district/stock/item working set
+  (``warehouse_resident_bytes``), live for the whole run;
+* completed orders accumulate in per-warehouse history and are trimmed
+  periodically — a churning, medium-lived component that exercises the
+  old generation.
+
+Because the loop is *closed* (CPU-bound), every GC pause, concurrent CPU
+steal and allocation-path overhead translates directly into lost
+transactions: the measured BOPS curve is the throughput lens on the same
+collector behaviour the DaCapo experiments observe through time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..heap.lifetime import Exponential, Immortal, Mixture, Weibull
+from ..seeding import rng_for
+from ..units import KB, MB
+from .base import Workload
+
+
+@dataclass(frozen=True)
+class SPECjbbConfig:
+    """Tunables of the SPECjbb-style workload."""
+
+    alloc_bytes_per_tx: float = 16 * KB      #: transient allocation per tx
+    cpu_seconds_per_tx: float = 0.00035      #: business logic per tx
+    warehouse_resident_bytes: float = 25 * MB  #: district/stock/item data
+    #: Fraction of per-tx allocation that is order history (medium-lived).
+    history_fraction: float = 0.04
+    #: Mean lifetime of order-history data before trimming (seconds).
+    history_lifetime: float = 20.0
+    mean_object_size: float = 512.0
+    #: Per-run throughput noise (lognormal sd).
+    sigma_run: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.alloc_bytes_per_tx <= 0 or self.cpu_seconds_per_tx <= 0:
+            raise ConfigError("per-tx volumes must be positive")
+        if not (0 <= self.history_fraction < 1):
+            raise ConfigError("history_fraction must be in [0, 1)")
+
+
+@dataclass
+class SPECjbbPoint:
+    """Measured throughput at one warehouse count."""
+
+    warehouses: int
+    bops: float                 #: business operations per second
+    elapsed: float
+    transactions: float
+    gc_pause_seconds: float
+
+
+class SPECjbbWorkload(Workload):
+    """SPECjbb-style ramp: measure BOPS at each warehouse count.
+
+    ``jvm.run(SPECjbbWorkload(), warehouses=[...], measurement_seconds=N)``
+    leaves a list of :class:`SPECjbbPoint` in ``result.extras["points"]``
+    plus the SPECjbb-style score (mean BOPS from ``cores`` to
+    ``2 * cores`` warehouses) in ``result.extras["score"]``.
+    """
+
+    name = "specjbb"
+
+    def __init__(self, config: Optional[SPECjbbConfig] = None):
+        self.config = config if config is not None else SPECjbbConfig()
+
+    def _lifetime(self):
+        cfg = self.config
+        return Mixture(
+            [
+                (1.0 - cfg.history_fraction - 0.002, Exponential(0.03)),
+                (cfg.history_fraction, Weibull(0.8, cfg.history_lifetime)),
+                (0.002, Immortal()),
+            ]
+        )
+
+    def drive(
+        self,
+        jvm,
+        result,
+        warehouses: Optional[Sequence[int]] = None,
+        measurement_seconds: float = 30.0,
+        sim_thread_cap: int = 8,
+        tx_batch: int = 200,
+    ):
+        """Driver generator: ramp warehouses, measure BOPS at each step."""
+        cfg = self.config
+        cores = jvm.config.topology.cores
+        if warehouses is None:
+            warehouses = sorted({1, 2, cores // 2, cores, 2 * cores} - {0})
+        rng = rng_for(jvm.config.seed, "specjbb", jvm.config.gc.value)
+        run_mult = float(np.exp(rng.normal(0.0, cfg.sigma_run)))
+        dist = self._lifetime()
+        points: List[SPECjbbPoint] = []
+        resident_cohorts: Dict[int, object] = {}
+
+        for n_wh in warehouses:
+            groups = max(1, min(n_wh, sim_thread_cap))
+            jvm.world.thread_multiplier = n_wh / groups
+
+            # Grow the resident working set to n_wh warehouses.
+            def grow_body(ctx, target=n_wh):
+                for w in range(len(resident_cohorts), target):
+                    cohort = yield from ctx.allocate(
+                        cfg.warehouse_resident_bytes, None,
+                        n_objects=cfg.warehouse_resident_bytes / (4 * KB),
+                        pinned=True, label=f"warehouse-{w}",
+                    )
+                    resident_cohorts[w] = cohort
+
+            yield from jvm.join([jvm.spawn_mutator(grow_body, "jbb-setup")])
+
+            pause_before = jvm.world.total_stw_time
+            t0 = jvm.now
+            deadline = t0 + measurement_seconds
+            counters = [0.0] * groups
+
+            def warehouse_body(ctx, gi):
+                per_loop_tx = tx_batch
+                cpu = per_loop_tx * cfg.cpu_seconds_per_tx * run_mult
+                alloc = per_loop_tx * cfg.alloc_bytes_per_tx * jvm.world.thread_multiplier
+                n_obj = alloc / cfg.mean_object_size
+                while jvm.now < deadline:
+                    yield from ctx.work(cpu)
+                    yield from ctx.allocate(
+                        alloc, dist, n_objects=n_obj, window=cpu, label="jbb-tx",
+                    )
+                    counters[gi] += per_loop_tx * jvm.world.thread_multiplier
+
+            procs = [
+                jvm.spawn_mutator(
+                    (lambda g: lambda ctx: warehouse_body(ctx, g))(g),
+                    f"warehouse-{g}",
+                )
+                for g in range(groups)
+            ]
+            yield from jvm.join(procs)
+            elapsed = jvm.now - t0
+            tx = sum(counters)
+            points.append(SPECjbbPoint(
+                warehouses=n_wh,
+                bops=tx / elapsed if elapsed > 0 else 0.0,
+                elapsed=elapsed,
+                transactions=tx,
+                gc_pause_seconds=jvm.world.total_stw_time - pause_before,
+            ))
+
+        result.extras["points"] = points
+        scoring = [p.bops for p in points if cores <= p.warehouses <= 2 * cores]
+        result.extras["score"] = float(np.mean(scoring)) if scoring else (
+            points[-1].bops if points else 0.0
+        )

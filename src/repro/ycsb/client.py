@@ -1,0 +1,206 @@
+"""The YCSB client: drives the server and records operation latencies.
+
+The heavy lifting on the server side is the discrete-event simulation
+(:class:`~repro.cassandra.server.CassandraServer` on a
+:class:`~repro.jvm.JVM`); the client-side latencies are then synthesized
+**vectorially** from the server's pause log (per the HPC guides: the
+million-point loop becomes three numpy passes):
+
+1. operation timestamps are drawn over the serving window;
+2. each operation gets a base service time — updates follow a tight
+   constant band, reads add an SSTable-dependent component that *steps up*
+   as flushes accumulate (paper Figure 5, observation 1);
+3. operations that arrive during a stop-the-world pause complete only
+   when the safepoint ends: ``latency += pause_end - arrival`` (paper
+   Figure 5, observation 2 — every latency peak is a GC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..cassandra.config import CassandraConfig
+from ..cassandra.server import CassandraServer
+from ..errors import ConfigError
+from ..seeding import rng_for
+from ..jvm import JVM, JVMConfig, RunResult
+from .workload import CoreWorkload
+
+#: Operation kind codes in :class:`ClientResult` arrays.
+KIND_READ, KIND_UPDATE, KIND_INSERT = 0, 1, 2
+
+
+@dataclass
+class OperationSample:
+    """One recorded operation (for spot-checking / examples)."""
+
+    time: float
+    kind: int
+    latency_ms: float
+
+
+@dataclass
+class ClientResult:
+    """Latency traces of one client run against one server configuration."""
+
+    gc: str
+    op_times: np.ndarray          #: arrival times (s since experiment start)
+    latencies_ms: np.ndarray      #: operation latencies (ms)
+    kinds: np.ndarray             #: KIND_READ / KIND_UPDATE / KIND_INSERT
+    pause_intervals: np.ndarray   #: (n, 2) server STW [start, end) intervals
+    server_result: Optional[RunResult] = None
+
+    def of_kind(self, kind: int) -> "ClientResult":
+        """Sub-trace of one operation kind."""
+        mask = self.kinds == kind
+        return ClientResult(
+            self.gc,
+            self.op_times[mask],
+            self.latencies_ms[mask],
+            self.kinds[mask],
+            self.pause_intervals,
+            self.server_result,
+        )
+
+    @property
+    def reads(self) -> "ClientResult":
+        """READ operations only."""
+        return self.of_kind(KIND_READ)
+
+    @property
+    def updates(self) -> "ClientResult":
+        """UPDATE operations only."""
+        return self.of_kind(KIND_UPDATE)
+
+    def top_points(self, n: int = 10_000):
+        """The *n* highest-latency points (paper plots only these)."""
+        if len(self.latencies_ms) <= n:
+            idx = np.argsort(self.op_times)
+            return self.op_times[idx], self.latencies_ms[idx]
+        idx = np.argpartition(self.latencies_ms, -n)[-n:]
+        idx = idx[np.argsort(self.op_times[idx])]
+        return self.op_times[idx], self.latencies_ms[idx]
+
+
+class YCSBClient:
+    """Runs a :class:`CoreWorkload` against a simulated Cassandra node."""
+
+    def __init__(self, workload: CoreWorkload, seed: int = 0):
+        self.workload = workload
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        jvm_config: JVMConfig,
+        cassandra_config: CassandraConfig,
+        *,
+        duration: float = 7200.0,
+        samples_per_second: float = 140.0,
+    ) -> ClientResult:
+        """Run the workload for *duration* simulated seconds; return latencies.
+
+        ``samples_per_second`` controls how many operations are *recorded*
+        (the paper records >1 M points per run; the server-side memory
+        behaviour is driven by the workload's full offered rate).
+        """
+        if duration <= 0:
+            raise ConfigError("duration must be positive")
+        w = self.workload
+        server = CassandraServer(cassandra_config)
+        jvm = JVM(jvm_config)
+        result = jvm.run(
+            server,
+            duration=duration,
+            ops_per_second=w.operations_per_second,
+            read_fraction=w.read_proportion,
+            update_fraction=w.update_proportion,
+            n_client_threads=w.client_threads,
+        )
+        return self.synthesize(jvm_config, result, server,
+                               samples_per_second=samples_per_second)
+
+    # ------------------------------------------------------------------
+
+    def synthesize(
+        self,
+        jvm_config: JVMConfig,
+        server_result: RunResult,
+        server: CassandraServer,
+        *,
+        samples_per_second: float = 140.0,
+    ) -> ClientResult:
+        """Vectorized latency synthesis from a finished server run."""
+        w = self.workload
+        rng = rng_for(self.seed, "ycsb-client", jvm_config.gc.value)
+        t0 = float(server_result.extras.get("serve_start", 0.0))
+        t1 = float(server_result.execution_time)
+        if t1 <= t0:
+            raise ConfigError("server run has an empty serving window")
+        n = max(1, int((t1 - t0) * samples_per_second))
+        times = np.sort(rng.uniform(t0, t1, size=n))
+
+        # Operation kinds per the workload mix.
+        u = rng.random(n)
+        kinds = np.full(n, KIND_INSERT, dtype=np.int8)
+        kinds[u < w.read_proportion] = KIND_READ
+        kinds[(u >= w.read_proportion)
+              & (u < w.read_proportion + w.update_proportion)] = KIND_UPDATE
+
+        # Base service times.
+        lat = np.empty(n, dtype=float)
+        writes = kinds != KIND_READ
+        # Updates/inserts: commit-log append + memtable write; a tight,
+        # constant band (paper: "the line of points is constant").
+        lat[writes] = 0.55 + rng.gamma(2.0, 0.11, size=int(writes.sum()))
+        # Reads: memtable hit or on-disk consultation. The on-disk path
+        # grows as data accumulates — each flush adds an SSTable, and even
+        # between flushes the growing data volume adds discrete index /
+        # partition levels: the paper's increasing "steps" in the read line.
+        reads = ~writes
+        n_reads = int(reads.sum())
+        if n_reads:
+            chooser = w.key_chooser()
+            hot = chooser.hot_fraction(0.05)
+            flush_times = np.sort(np.array(
+                [t.created_at for t in server.sstables.tables], dtype=float
+            ))
+            tables_at = (
+                np.searchsorted(flush_times, times[reads])
+                if flush_times.size
+                else np.zeros(n_reads)
+            )
+            written = server.commitlog.appended_bytes - server.stats.replayed_bytes
+            write_rate = max(written, 0.0) / (t1 - t0)
+            level_quantum = 2.0 * 1024 ** 3  # one level per ~2 GB written
+            levels_at = np.floor((times[reads] - t0) * write_rate / level_quantum)
+            miss = rng.random(n_reads) > hot
+            base = 0.85 + rng.gamma(2.0, 0.28, size=n_reads)
+            sstable_cost = miss * 0.30 * np.log2(2.0 + tables_at + levels_at)
+            lat[reads] = base + sstable_cost
+
+        # GC pause overlap: ops arriving inside [start, end) finish at end.
+        intervals = server_result.gc_log.intervals()
+        if intervals.size:
+            starts = intervals[:, 0]
+            ends = intervals[:, 1]
+            idx = np.searchsorted(starts, times, side="right") - 1
+            valid = idx >= 0
+            inside = np.zeros(n, dtype=bool)
+            inside[valid] = times[valid] < ends[idx[valid]]
+            lat[inside] += (ends[idx[inside]] - times[inside]) * 1000.0
+        else:
+            intervals = np.zeros((0, 2))
+
+        return ClientResult(
+            gc=jvm_config.gc.value,
+            op_times=times,
+            latencies_ms=lat,
+            kinds=kinds,
+            pause_intervals=intervals,
+            server_result=server_result,
+        )

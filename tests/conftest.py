@@ -1,0 +1,60 @@
+"""Shared fixtures: small, fast configurations for unit tests."""
+
+import pytest
+
+from repro import JVMConfig, MachineTopology
+from repro.heap.heap import GenerationalHeap, HeapConfig
+from repro.heap.tlab import TLABConfig
+from repro.machine.costs import CostModel
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def tiny_topology():
+    """A small 8-core, 2-NUMA-node machine with 4 GB RAM."""
+    return MachineTopology(
+        name="tiny",
+        sockets=1,
+        numa_nodes_per_socket=2,
+        cores_per_numa_node=4,
+        ram_bytes=4 * GB,
+    )
+
+
+@pytest.fixture
+def costs(tiny_topology):
+    """Cost model on the tiny machine."""
+    return CostModel(topology=tiny_topology)
+
+
+@pytest.fixture
+def small_heap():
+    """A 256 MB heap with a 64 MB young generation."""
+    return GenerationalHeap(
+        HeapConfig(heap_bytes=256 * MB, young_bytes=64 * MB),
+        n_mutator_threads=4,
+    )
+
+
+@pytest.fixture
+def small_jvm_config(tiny_topology):
+    """JVM config factory for quick end-to-end runs."""
+
+    def make(**overrides):
+        kw = dict(
+            gc="ParallelOld",
+            heap=512 * MB,
+            young=128 * MB,
+            topology=tiny_topology,
+            seed=42,
+        )
+        kw.update(overrides)
+        return JVMConfig(**kw)
+
+    return make
+
+
+@pytest.fixture
+def no_tlab():
+    """Disabled-TLAB configuration."""
+    return TLABConfig(enabled=False)

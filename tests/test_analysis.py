@@ -1,0 +1,309 @@
+"""Tests for the analysis package (Tables 2-8 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import (
+    LatencyBandStats,
+    gc_overlap_fraction,
+    latency_band_stats,
+)
+from repro.analysis.pauses import pause_scatter, pause_stats
+from repro.analysis.ranking import rank_by_wins
+from repro.analysis.report import render_series, render_table
+from repro.analysis.stability import rsd, stability_table
+from repro.analysis.summary import GCVerdict, qualitative_summary
+from repro.analysis.tlab import TLABInfluence, classify_tlab, compare
+from repro.errors import ConfigError
+from repro.gc.stats import GCLog, PauseRecord
+
+
+class TestRSD:
+    def test_constant_series_zero(self):
+        assert rsd([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert rsd([9.0, 11.0]) == pytest.approx(np.std([9, 11], ddof=1) / 10.0)
+
+    def test_single_value_nan(self):
+        assert np.isnan(rsd([1.0]))
+
+    def test_zero_mean_nan(self):
+        assert np.isnan(rsd([-1.0, 1.0]))
+
+    def test_stability_table_rows(self):
+        class R:
+            def __init__(self, f, t):
+                self.final_iteration_time = f
+                self.execution_time = t
+
+        rows = stability_table(
+            {"x": [R(1.0, 10.0), R(1.1, 10.2)]}, crashed=["eclipse"]
+        )
+        assert rows[0].benchmark == "eclipse" and rows[0].crashed
+        assert not rows[0].stable
+        assert rows[1].benchmark == "x"
+        assert rows[1].stable  # well under 5 %
+
+    def test_stability_criterion_one_of_two(self):
+        from repro.analysis.stability import StabilityRow
+
+        row = StabilityRow("batik", rsd_final_pct=11.2, rsd_total_pct=3.6)
+        assert row.stable  # the paper accepts batik on the total-time metric
+
+    def test_stability_empty_runs_rejected(self):
+        with pytest.raises(ConfigError):
+            stability_table({"x": []})
+
+
+class TestPauseStats:
+    def _log(self):
+        log = GCLog()
+        log.record(PauseRecord(1.0, 0.2, "young", "Allocation Failure", "X"))
+        log.record(PauseRecord(2.0, 1.0, "full", "System.gc()", "X"))
+        return log
+
+    def test_row_format(self):
+        stats = pause_stats(self._log(), 10.0)
+        assert stats.row()[0] == "2(1)"
+        assert stats.row()[1] == pytest.approx(0.6)
+
+    def test_pause_fraction(self):
+        stats = pause_stats(self._log(), 10.0)
+        assert stats.pause_fraction == pytest.approx(0.12)
+
+    def test_scatter_series(self):
+        xs, ys = pause_scatter(self._log())
+        np.testing.assert_allclose(xs, [1.0, 2.0])
+        np.testing.assert_allclose(ys, [0.2, 1.0])
+
+
+class TestTLABClassification:
+    def test_neutral_within_band(self):
+        assert classify_tlab(100.0, 103.0) is TLABInfluence.NEUTRAL
+
+    def test_positive_when_tlab_clearly_faster(self):
+        assert classify_tlab(100.0, 110.0) is TLABInfluence.POSITIVE
+
+    def test_negative_when_tlab_clearly_slower(self):
+        assert classify_tlab(110.0, 100.0) is TLABInfluence.NEGATIVE
+
+    def test_band_is_five_percent_of_average(self):
+        # avg=100, deviation=5: delta of exactly 5 stays neutral
+        assert classify_tlab(97.5, 102.5) is TLABInfluence.NEUTRAL
+        assert classify_tlab(97.0, 103.1) is TLABInfluence.POSITIVE
+
+    def test_custom_band(self):
+        assert classify_tlab(100.0, 108.0, band=0.10) is TLABInfluence.NEUTRAL
+
+    def test_compare_record(self):
+        c = compare("xalan", "G1GC", 110.0, 100.0)
+        assert c.influence is TLABInfluence.NEGATIVE
+        assert c.benchmark == "xalan"
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigError):
+            classify_tlab(-1.0, 1.0)
+
+
+class TestRanking:
+    def test_winner_counted(self):
+        result = rank_by_wins({
+            ("h2", 1, 1): {"A": 10.0, "B": 12.0},
+            ("h2", 2, 1): {"A": 11.0, "B": 9.0},
+            ("pmd", 1, 1): {"A": 5.0, "B": 6.0},
+        })
+        assert result.wins == {"A": 2, "B": 1}
+        assert result.percentage("A") == pytest.approx(100 * 2 / 3)
+
+    def test_zero_win_gc_omitted_from_bars(self):
+        result = rank_by_wins({
+            ("x", 1, 1): {"A": 1.0, "G1": 2.0},
+        })
+        names = [gc for gc, _pct in result.ordered()]
+        assert "G1" not in names  # the paper's "no column for G1"
+
+    def test_ordered_descending(self):
+        result = rank_by_wins({
+            (i,): {"A": 1.0 if i < 3 else 2.0, "B": 1.5} for i in range(4)
+        })
+        pcts = [p for _gc, p in result.ordered()]
+        assert pcts == sorted(pcts, reverse=True)
+
+    def test_empty_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            rank_by_wins({("x",): {}})
+
+
+class TestLatencyBands:
+    def _trace(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 1000, 20_000))
+        lat = 1.0 + rng.gamma(2.0, 0.1, 20_000)
+        pauses = np.array([[100.0, 101.0], [500.0, 502.0]])
+        # inflate ops inside pauses
+        for start, end in pauses:
+            mask = (times >= start) & (times < end)
+            lat[mask] += (end - times[mask]) * 1000.0
+        return times, lat, pauses
+
+    def test_basic_stats(self):
+        times, lat, pauses = self._trace()
+        stats = latency_band_stats(times, lat, pauses)
+        assert stats.min_ms > 0
+        assert stats.max_ms > 100
+        assert stats.avg_ms > 1.0
+
+    def test_high_bands_fully_gc_attributed(self):
+        times, lat, pauses = self._trace()
+        stats = latency_band_stats(times, lat, pauses)
+        high = {b.label: b for b in stats.bands if b.label.startswith(">")}
+        assert high, "expected >2x bands"
+        # the paper's key observation: the moderate high bands (where both
+        # pauses produce qualifying operations) are 100 % GC-attributed
+        for label in (">2x AVG", ">4x AVG", ">8x AVG", ">16x AVG"):
+            assert high[label].pct_gcs == pytest.approx(100.0), label
+
+    def test_band_labels_double(self):
+        times, lat, pauses = self._trace()
+        stats = latency_band_stats(times, lat, pauses)
+        labels = [b.label for b in stats.bands]
+        assert labels[0] == "0.5x-1.5x AVG"
+        assert labels[1] == ">2x AVG" and labels[2] == ">4x AVG"
+
+    def test_no_pauses_zero_gc_percent(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 100, 1000))
+        lat = np.ones(1000)
+        stats = latency_band_stats(times, lat, np.zeros((0, 2)))
+        assert all(b.pct_gcs == 0.0 for b in stats.bands)
+
+    def test_rows_flatten(self):
+        times, lat, pauses = self._trace()
+        rows = latency_band_stats(times, lat, pauses).rows()
+        assert rows[0][0] == "AVG(ms)"
+        assert any("%GCs" in label for label, _v in rows)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            latency_band_stats(np.array([]), np.array([]), np.zeros((0, 2)))
+
+    def test_gc_overlap_fraction_full_attribution(self):
+        times, lat, pauses = self._trace()
+        assert gc_overlap_fraction(times, lat, pauses) == pytest.approx(1.0)
+
+    def test_gc_overlap_fraction_no_pauses(self):
+        times = np.array([1.0, 2.0])
+        lat = np.array([1.0, 100.0])
+        assert gc_overlap_fraction(times, lat, np.zeros((0, 2))) == 0.0
+
+
+class TestSummary:
+    def test_verdict_labels(self):
+        verdicts = qualitative_summary(
+            dacapo={
+                "ParallelOldGC": {"exec_time": 100.0, "max_pause": 0.8},
+                "G1GC": {"exec_time": 135.0, "max_pause": 3.0},
+            },
+            cassandra={
+                "ParallelOldGC": {"exec_time": 7200.0, "max_pause": 240.0},
+                "G1GC": {"exec_time": 7500.0, "max_pause": 3.5},
+            },
+        )
+        by_key = {(v.gc, v.experiment): v for v in verdicts}
+        assert by_key[("ParallelOldGC", "DaCapo")].throughput == "good"
+        assert by_key[("ParallelOldGC", "DaCapo")].pause_time == "short"
+        assert by_key[("G1GC", "DaCapo")].throughput == "bad"
+        assert by_key[("ParallelOldGC", "Cassandra")].pause_time == "unacceptable"
+        assert by_key[("G1GC", "Cassandra")].pause_time == "significant"
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ConfigError):
+            qualitative_summary({"A": {"exec_time": 0.0, "max_pause": 1.0}}, {})
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series_subsamples(self):
+        xs = np.arange(1000.0)
+        out = render_series(xs, xs * 2, label="pauses", max_points=10)
+        assert out.startswith("pauses:")
+        assert out.count("(") == 10
+
+    def test_render_series_empty(self):
+        assert "empty" in render_series(np.array([]), np.array([]), label="x")
+
+    def test_render_series_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_series(np.array([1.0]), np.array([]))
+
+
+class TestOccupancyAndIntervals:
+    def _log(self):
+        log = GCLog()
+        log.record(PauseRecord(1.0, 0.5, "young", "Allocation Failure", "X",
+                               heap_used_before=800.0, heap_used_after=200.0))
+        log.record(PauseRecord(5.0, 1.0, "full", "System.gc()", "X",
+                               heap_used_before=900.0, heap_used_after=150.0))
+        return log
+
+    def test_occupancy_sawtooth(self):
+        from repro.analysis.pauses import heap_occupancy_series
+
+        ts, used = heap_occupancy_series(self._log())
+        np.testing.assert_allclose(ts, [1.0, 1.5, 5.0, 6.0])
+        np.testing.assert_allclose(used, [800.0, 200.0, 900.0, 150.0])
+
+    def test_occupancy_empty_log(self):
+        from repro.analysis.pauses import heap_occupancy_series
+
+        ts, used = heap_occupancy_series(GCLog())
+        assert ts.size == 0 and used.size == 0
+
+    def test_inter_pause_intervals(self):
+        from repro.analysis.pauses import inter_pause_intervals
+
+        gaps = inter_pause_intervals(self._log())
+        np.testing.assert_allclose(gaps, [3.5])  # 5.0 - (1.0 + 0.5)
+
+    def test_inter_pause_single_pause(self):
+        from repro.analysis.pauses import inter_pause_intervals
+
+        log = GCLog()
+        log.record(PauseRecord(1.0, 0.5, "young", "Allocation Failure", "X"))
+        assert inter_pause_intervals(log).size == 0
+
+
+class TestPausePercentiles:
+    def test_percentiles_of_known_log(self):
+        from repro.analysis.pauses import pause_percentiles
+
+        log = GCLog()
+        for i, d in enumerate([0.1, 0.2, 0.3, 0.4]):
+            log.record(PauseRecord(float(i), d, "young", "x", "X"))
+        p = pause_percentiles(log)
+        assert p["p100"] == pytest.approx(0.4)
+        assert p["p50"] == pytest.approx(0.25)
+
+    def test_empty_log_zeroes(self):
+        from repro.analysis.pauses import pause_percentiles
+
+        p = pause_percentiles(GCLog())
+        assert p == {"p50": 0.0, "p90": 0.0, "p99": 0.0, "p100": 0.0}
+
+    def test_custom_quantiles(self):
+        from repro.analysis.pauses import pause_percentiles
+
+        log = GCLog()
+        log.record(PauseRecord(0.0, 1.0, "young", "x", "X"))
+        assert set(pause_percentiles(log, qs=(25, 75))) == {"p25", "p75"}

@@ -1,0 +1,75 @@
+"""Tests for the terminal scatter plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import MARKERS, scatter_plot
+from repro.errors import ConfigError
+
+
+def simple_series():
+    xs = np.linspace(0, 10, 20)
+    return {"up": (xs, xs), "flat": (xs, np.full(20, 5.0))}
+
+
+class TestScatterPlot:
+    def test_renders_markers(self):
+        out = scatter_plot(simple_series())
+        assert "o" in out and "x" in out
+
+    def test_title_and_labels(self):
+        out = scatter_plot(simple_series(), title="T", x_label="time",
+                           y_label="pause")
+        assert out.splitlines()[0] == "T"
+        assert "(time)" in out
+        assert "[pause]" in out
+
+    def test_legend_maps_markers(self):
+        out = scatter_plot(simple_series())
+        assert "o=up" in out and "x=flat" in out
+
+    def test_axis_extremes_labelled(self):
+        out = scatter_plot({"s": ([1.0, 9.0], [2.0, 8.0])})
+        assert "9" in out and "8" in out
+
+    def test_dimensions(self):
+        out = scatter_plot(simple_series(), width=40, height=8)
+        plot_rows = [l for l in out.splitlines() if l.endswith("|")]
+        assert len(plot_rows) == 8
+        assert all(len(l.split("|")[1]) == 40 for l in plot_rows)
+
+    def test_rising_series_rises(self):
+        out = scatter_plot({"up": ([0, 1, 2], [0, 1, 2])}, width=30, height=9)
+        rows = [l.split("|")[1] for l in out.splitlines() if l.endswith("|")]
+        top = rows[0].find("o")
+        bottom = rows[-1].find("o")
+        assert bottom == 0 and top == 29  # bottom-left to top-right
+
+    def test_empty_series_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter_plot({})
+
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter_plot({"s": ([], [])})
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter_plot({"s": ([1.0], [1.0, 2.0])})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": ([1.0], [1.0]) for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ConfigError):
+            scatter_plot(series)
+
+    def test_tiny_plot_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter_plot(simple_series(), width=4, height=2)
+
+    def test_single_point(self):
+        out = scatter_plot({"s": ([5.0], [5.0])})
+        assert "o" in out
+
+    def test_constant_series_no_div_by_zero(self):
+        out = scatter_plot({"s": ([1.0, 1.0], [3.0, 3.0])})
+        assert "o" in out

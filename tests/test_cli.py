@@ -1,0 +1,97 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import cassandra_main, dacapo_main, report_main
+
+
+class TestDaCapoCLI:
+    def test_basic_run(self, capsys):
+        rc = dacapo_main(["lusearch", "-n", "2", "--heap", "1g", "--young", "256m"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lusearch" in out and "iteration" in out
+
+    def test_gc_selection(self, capsys):
+        rc = dacapo_main(["lusearch", "-n", "2", "--gc", "G1",
+                          "--heap", "1g", "--young", "256m"])
+        assert rc == 0
+        assert "G1GC" in capsys.readouterr().out
+
+    def test_crashing_benchmark_nonzero_exit(self, capsys):
+        rc = dacapo_main(["eclipse", "-n", "1", "--heap", "1g"])
+        assert rc == 1
+
+    def test_no_tlab_flag(self, capsys):
+        rc = dacapo_main(["lusearch", "-n", "1", "--no-tlab",
+                          "--heap", "1g", "--young", "256m"])
+        assert rc == 0
+
+    def test_gc_log_round_trip(self, tmp_path, capsys):
+        logfile = tmp_path / "gc.log"
+        rc = dacapo_main(["lusearch", "-n", "3", "--heap", "1g",
+                          "--young", "128m", "--gc-log", str(logfile)])
+        assert rc == 0
+        assert logfile.exists()
+        rc2 = report_main([str(logfile)])
+        assert rc2 == 0
+        out = capsys.readouterr().out
+        assert "pauses" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            dacapo_main(["not-a-benchmark"])
+
+
+class TestCassandraCLI:
+    def test_short_run(self, capsys):
+        rc = cassandra_main(["--duration", "200", "--ops", "1500",
+                             "--phase", "run", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cassandra" in out
+        assert "READ latency" in out and "UPDATE latency" in out
+
+    def test_load_phase_no_read_table(self, capsys):
+        rc = cassandra_main(["--duration", "120", "--ops", "1500",
+                             "--phase", "load"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "READ latency" not in out
+
+
+class TestReportCLI:
+    def test_empty_log(self, tmp_path, capsys):
+        f = tmp_path / "empty.log"
+        f.write_text("")
+        assert report_main([str(f)]) == 0
+        assert "no pauses" in capsys.readouterr().out
+
+
+class TestSpecjbbCLI:
+    def test_ramp(self, capsys):
+        rc = __import__("repro.cli", fromlist=["specjbb_main"]).specjbb_main(
+            ["-w", "4", "8", "-m", "5", "--heap", "2g", "--young", "512m"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warehouses" in out and "score:" in out
+
+    def test_htm_collector_accepted(self, capsys):
+        from repro.cli import specjbb_main
+
+        rc = specjbb_main(["-w", "4", "-m", "5", "--gc", "HTM",
+                           "--heap", "2g", "--young", "512m"])
+        assert rc == 0
+        assert "HTMGC" in capsys.readouterr().out
+
+
+class TestClusterCLI:
+    def test_study_runs(self, capsys):
+        from repro.cli import cluster_main
+
+        rc = cluster_main(["-n", "2", "--duration", "600",
+                           "--gc", "ParallelOld"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DOWN convictions" in out and "availability" in out

@@ -1,0 +1,109 @@
+"""Tests for the multi-node failure-detector study."""
+
+import numpy as np
+import pytest
+
+from repro import JVMConfig
+from repro.cassandra import (
+    ClusterConfig,
+    ClusterResult,
+    DownEvent,
+    detect_down_events,
+    run_cluster_study,
+    stress_config,
+)
+from repro.errors import ConfigError
+from repro.units import GB, KB
+
+
+class TestClusterConfig:
+    def test_defaults_valid(self):
+        cfg = ClusterConfig()
+        assert cfg.n_nodes == 3
+
+    def test_replication_bounded_by_nodes(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(n_nodes=2, replication_factor=3)
+
+    def test_positive_timeouts(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(failure_timeout=0)
+
+
+class TestDetector:
+    CFG = ClusterConfig(failure_timeout=3.0, heartbeat_interval=1.0,
+                        recovery_delay=1.0)
+
+    def test_short_pauses_do_not_convict(self):
+        events = detect_down_events(
+            np.array([10.0, 50.0]), np.array([0.5, 3.0]), self.CFG
+        )
+        assert events == []
+
+    def test_long_pause_convicts(self):
+        events = detect_down_events(np.array([100.0]), np.array([240.0]), self.CFG)
+        assert len(events) == 1
+        e = events[0]
+        # convicted after timeout + mean heartbeat latency
+        assert e.declared_at == pytest.approx(100.0 + 3.5)
+        # recovered once the pause ends plus gossip propagation
+        assert e.recovered_at == pytest.approx(100.0 + 240.0 + 1.0)
+        assert e.unavailable_seconds == pytest.approx(240.0 - 3.5 + 1.0)
+
+    def test_threshold_is_sharp(self):
+        just_under = detect_down_events(np.array([0.0]), np.array([3.4]), self.CFG)
+        just_over = detect_down_events(np.array([0.0]), np.array([3.6]), self.CFG)
+        assert just_under == [] and len(just_over) == 1
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ConfigError):
+            detect_down_events(np.array([1.0]), np.array([1.0, 2.0]), self.CFG)
+
+    def test_node_id_recorded(self):
+        events = detect_down_events(np.array([0.0]), np.array([10.0]),
+                                    self.CFG, node=7)
+        assert events[0].node == 7
+
+
+class TestClusterStudy:
+    @pytest.fixture(scope="class")
+    def parallel_old(self):
+        return run_cluster_study(
+            "ParallelOld", duration=3600.0,
+            cluster=ClusterConfig(n_nodes=2), seed=3,
+        )
+
+    def test_one_result_per_node(self, parallel_old):
+        assert len(parallel_old.node_results) == 2
+        assert all(not r.crashed for r in parallel_old.node_results)
+
+    def test_parallel_old_convicted(self, parallel_old):
+        """The paper's warning: ParallelOld's pauses get nodes marked down."""
+        assert parallel_old.down_events
+        assert parallel_old.total_unavailable_seconds > 0
+        assert parallel_old.availability(3600.0) < 1.0
+
+    def test_hinted_handoff_proportional(self, parallel_old):
+        expected = (parallel_old.write_rate_per_node
+                    * parallel_old.total_unavailable_seconds)
+        assert parallel_old.hinted_handoff_bytes == pytest.approx(expected)
+
+    def test_events_sorted_by_time(self, parallel_old):
+        times = [e.declared_at for e in parallel_old.down_events]
+        assert times == sorted(times)
+
+    def test_nodes_unsynchronized(self, parallel_old):
+        """Different seeds per node: pause logs differ across replicas."""
+        a, b = parallel_old.node_results
+        assert list(a.gc_log.starts()) != list(b.gc_log.starts())
+
+    def test_htm_never_convicted(self):
+        res = run_cluster_study(
+            "HTM", duration=1800.0, cluster=ClusterConfig(n_nodes=2), seed=3
+        )
+        assert res.down_events == []
+        assert res.availability(1800.0) == 1.0
+
+    def test_availability_trivial_without_duration(self):
+        res = ClusterResult(gc="x", config=ClusterConfig())
+        assert res.availability(0.0) == 1.0

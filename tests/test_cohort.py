@@ -1,0 +1,156 @@
+"""Tests for analytic cohorts, including batch-collection equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.heap.cohort import Cohort
+from repro.heap.heap import batch_collect, batch_live_bytes
+from repro.heap.lifetime import Exponential, Immortal, Weibull
+from repro.units import MB
+
+
+class TestCohortBasics:
+    def test_resident_starts_at_allocated(self):
+        c = Cohort(0.0, 1.0, 100.0, Exponential(1.0))
+        assert c.resident == 100.0
+
+    def test_live_bytes_bounded_by_resident(self):
+        c = Cohort(0.0, 1.0, 100.0, Exponential(1.0))
+        assert 0 <= c.live_bytes(5.0) <= c.resident
+
+    def test_live_bytes_monotone_decreasing(self):
+        c = Cohort(0.0, 1.0, 100.0, Exponential(1.0))
+        assert c.live_bytes(10.0) <= c.live_bytes(2.0)
+
+    def test_collect_frees_dead_and_ages(self):
+        c = Cohort(0.0, 1.0, 100.0, Exponential(0.5))
+        freed = c.collect(5.0)
+        assert freed > 0
+        assert c.age == 1
+        assert c.resident == pytest.approx(100.0 - freed)
+
+    def test_collect_conserves_bytes(self):
+        c = Cohort(0.0, 1.0, 100.0, Exponential(1.0))
+        freed1 = c.collect(2.0)
+        freed2 = c.collect(4.0)
+        assert freed1 + freed2 + c.resident == pytest.approx(100.0)
+
+    def test_tail_cutoff_rounds_small_residue_to_zero(self):
+        c = Cohort(0.0, 0.0, 100.0, Exponential(0.01))
+        c.collect(100.0)  # survival ~ e^-10000
+        assert c.resident == 0.0
+        assert c.is_dead
+
+    def test_unique_ids(self):
+        a = Cohort(0, 0, 1, Immortal())
+        b = Cohort(0, 0, 1, Immortal())
+        assert a.cid != b.cid
+
+    def test_mean_object_size(self):
+        c = Cohort(0, 0, 100.0, Immortal(), n_objects=4)
+        assert c.mean_object_size() == 25.0
+
+
+class TestPinnedCohorts:
+    def test_pinned_fully_live_until_release(self):
+        c = Cohort(0.0, 0.0, 50 * MB, pinned=True)
+        assert c.live_bytes(1e6) == 50 * MB
+        c.collect(1e6)
+        assert c.resident == 50 * MB
+
+    def test_release_makes_garbage(self):
+        c = Cohort(0.0, 0.0, 50 * MB, pinned=True)
+        freed = c.release()
+        assert freed == 50 * MB
+        assert c.live_bytes(1.0) == 0.0
+        assert c.is_dead
+
+    def test_release_idempotent(self):
+        c = Cohort(0.0, 0.0, 10.0, pinned=True)
+        c.release()
+        assert c.release() == 0.0
+
+    def test_space_reclaimed_only_at_collection(self):
+        c = Cohort(0.0, 0.0, 10.0, pinned=True)
+        c.release()
+        assert c.resident == 10.0  # still occupying space
+        freed = c.collect(1.0)
+        assert freed == 10.0 and c.resident == 0.0
+
+    def test_release_non_pinned_rejected(self):
+        c = Cohort(0.0, 0.0, 10.0, Exponential(1.0))
+        with pytest.raises(ConfigError):
+            c.release()
+
+    def test_pinned_without_dist_allowed(self):
+        assert Cohort(0.0, 0.0, 10.0, pinned=True).pinned
+
+
+class TestValidation:
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ConfigError):
+            Cohort(5.0, 1.0, 10.0, Exponential(1.0))
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            Cohort(0.0, 1.0, -10.0, Exponential(1.0))
+
+    def test_plain_cohort_needs_distribution(self):
+        with pytest.raises(ConfigError):
+            Cohort(0.0, 1.0, 10.0)
+
+
+class TestBatchEquivalence:
+    def _make_cohorts(self):
+        dists = [Exponential(0.5), Weibull(0.6, 2.0), Exponential(0.5)]
+        cohorts = []
+        for i, dist in enumerate(dists):
+            for j in range(5):
+                cohorts.append(Cohort(j * 0.5, j * 0.5 + 0.3, 100.0 * (i + 1), dist))
+        cohorts.append(Cohort(0.0, 0.0, 42.0, pinned=True))
+        released = Cohort(0.0, 0.0, 7.0, pinned=True)
+        released.release()
+        cohorts.append(released)
+        return cohorts
+
+    def test_batch_live_bytes_matches_scalar(self):
+        cohorts = self._make_cohorts()
+        batch = batch_live_bytes(cohorts, 10.0)
+        scalar = np.array([c.live_bytes(10.0) for c in cohorts])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-10)
+
+    def test_batch_collect_matches_scalar_collect(self):
+        import copy
+
+        cohorts_a = self._make_cohorts()
+        # Rebuild an identical set (fresh ids, same parameters).
+        cohorts_b = self._make_cohorts()
+        freed_a, surv_a = batch_collect(cohorts_a, 10.0)
+        freed_b = sum(c.collect(10.0) for c in cohorts_b)
+        surv_b = [c for c in cohorts_b if not c.is_dead]
+        assert freed_a == pytest.approx(freed_b, rel=1e-10)
+        assert len(surv_a) == len(surv_b)
+        for x, y in zip(surv_a, surv_b):
+            assert x.resident == pytest.approx(y.resident, rel=1e-10)
+            assert x.age == y.age
+
+    def test_batch_collect_empty(self):
+        freed, survivors = batch_collect([], 1.0)
+        assert freed == 0.0 and survivors == []
+
+    @given(
+        n=st.integers(1, 20),
+        tau=st.floats(0.05, 10.0),
+        now=st.floats(1.0, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_collect_conserves_bytes(self, n, tau, now):
+        dist = Exponential(tau)
+        cohorts = [Cohort(0.0, 0.5, 10.0 + i, dist) for i in range(n)]
+        total_before = sum(c.resident for c in cohorts)
+        freed, survivors = batch_collect(cohorts, now)
+        total_after = sum(c.resident for c in survivors)
+        assert freed + total_after == pytest.approx(total_before, rel=1e-9)

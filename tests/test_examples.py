@@ -1,0 +1,77 @@
+"""Smoke tests: every example script runs and prints its study.
+
+Examples are part of the public deliverable; these tests execute them
+in-process (short variants where the script supports one) so they cannot
+rot.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    saved = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Per-iteration execution time" in out
+        assert "[GC (Allocation Failure)" in out or "[Full GC" in out
+
+    def test_gc_comparison(self, capsys):
+        run_example("gc_comparison.py", ["batik"])
+        out = capsys.readouterr().out
+        assert "sorted by execution time" in out
+        assert "pause scatter" in out
+
+    def test_cassandra_stress_short(self, capsys):
+        run_example("cassandra_stress.py", ["--short"])
+        out = capsys.readouterr().out
+        assert "Cassandra stress test" in out
+        assert "ParallelOld" in out and "G1" in out
+
+    def test_client_latency_short(self, capsys):
+        run_example("client_latency.py", ["--duration", "900"])
+        out = capsys.readouterr().out
+        assert "p99.9" in out
+        assert "Band statistics" in out
+
+    def test_heap_tuning(self, capsys):
+        run_example("heap_tuning.py", ["ParallelOld"])
+        out = capsys.readouterr().out
+        assert "heap/young sweep" in out
+
+    def test_specjbb_scaling(self, capsys):
+        run_example("specjbb_scaling.py")
+        out = capsys.readouterr().out
+        assert "BOPS by warehouse count" in out
+        assert "HTMGC" in out
+
+    def test_distributed_cluster(self, capsys):
+        run_example("distributed_cluster.py", ["--hours", "0.25"])
+        out = capsys.readouterr().out
+        assert "DOWN convictions" in out
+
+    def test_custom_study(self, capsys):
+        run_example("custom_study.py")
+        out = capsys.readouterr().out
+        assert "Ranking (Figure 3 methodology)" in out
+        assert "Custom build-then-serve workload" in out
+
+    def test_paper_comparison(self, capsys):
+        run_example("paper_comparison.py")
+        out = capsys.readouterr().out
+        assert "anomaly direction reproduced: True" in out
+        assert "full-GC duration ratio" in out

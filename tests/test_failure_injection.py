@@ -1,0 +1,120 @@
+"""Failure-injection tests: the simulator degrades cleanly, not weirdly.
+
+A production-quality harness must survive misbehaving workloads and
+collector faults: the world must never stay stopped, crashed runs must be
+reported (not hung), and the engine must remain reusable state-wise.
+"""
+
+import pytest
+
+from repro import JVM, OutOfMemoryError
+from repro.errors import ReproError, SimulationError
+from repro.gc.base import Outcome, STWPause
+from repro.heap.lifetime import Exponential
+from repro.units import MB
+from tests.test_jvm_threads import ScriptedWorkload
+
+
+class TestWorkloadFaults:
+    def test_non_repro_exception_propagates(self, small_jvm_config):
+        def script(jvm, result):
+            yield jvm.engine.timeout(0.5)
+            raise ValueError("driver bug")
+
+        jvm = JVM(small_jvm_config())
+        with pytest.raises(ValueError):
+            jvm.run(ScriptedWorkload(script))
+
+    def test_mutator_repro_error_crashes_run_cleanly(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.allocate(10 * MB, Exponential(1.0))
+                raise OutOfMemoryError(1, 0)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        jvm = JVM(small_jvm_config())
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.crashed
+        assert "OutOfMemoryError" in result.crash_reason
+
+    def test_driver_that_never_finishes_is_flagged(self, small_jvm_config):
+        def script(jvm, result):
+            # waits on an event nobody triggers: queue drains, driver alive
+            yield jvm.engine.event()
+
+        jvm = JVM(small_jvm_config())
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.crashed
+        assert "did not finish" in result.crash_reason
+
+
+class TestCollectorFaults:
+    def test_world_released_when_collector_raises(self, small_jvm_config):
+        """If a collector interaction raises, the STW flag must clear —
+        no permanently frozen world."""
+        jvm = JVM(small_jvm_config())
+
+        def exploding(now):
+            raise ReproError("collector bug")
+
+        def script(j, result):
+            with pytest.raises(ReproError):
+                yield from j.world.gc_cycle(None, exploding, must_run=True)
+            result.extras["stw_after"] = j.world.stw
+            result.extras["in_progress"] = j.world.gc_in_progress
+
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.extras["stw_after"] is False
+        assert result.extras["in_progress"] is False
+
+    def test_mutators_resume_after_collector_fault(self, small_jvm_config):
+        jvm = JVM(small_jvm_config())
+
+        def exploding(now):
+            raise ReproError("collector bug")
+
+        def script(j, result):
+            def worker(ctx):
+                yield from ctx.work(2.0)
+                result.extras["worker_done"] = j.now
+
+            proc = j.spawn_mutator(worker)
+            yield j.engine.timeout(0.5)
+            with pytest.raises(ReproError):
+                yield from j.world.gc_cycle(None, exploding, must_run=True)
+            yield from j.join([proc])
+
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.extras["worker_done"] >= 2.0
+
+    def test_zero_duration_pause_is_fine(self, small_jvm_config):
+        jvm = JVM(small_jvm_config())
+
+        def noop(now):
+            return Outcome(pauses=[STWPause("vm-op", "test", 0.0)])
+
+        def script(j, result):
+            yield from j.world.gc_cycle(None, noop, must_run=True)
+
+        result = jvm.run(ScriptedWorkload(script))
+        assert not result.crashed
+        assert jvm.gc_log.count == 1
+
+
+class TestHeapFaults:
+    def test_oom_leaves_heap_consistent(self, small_jvm_config):
+        jvm = JVM(small_jvm_config())
+
+        def script(j, result):
+            def hog(ctx):
+                for _ in range(50):
+                    yield from ctx.allocate(50 * MB, None, pinned=True)
+
+            yield from j.join([j.spawn_mutator(hog)])
+
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.crashed
+        # accounting is still coherent after the crash
+        jvm.heap.check_invariants(jvm.now)
+        assert jvm.heap.used <= jvm.heap.config.heap_bytes + 1e-6

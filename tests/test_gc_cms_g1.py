@@ -1,0 +1,176 @@
+"""Tests for the concurrent collectors' cycle state machines."""
+
+import numpy as np
+import pytest
+
+from repro.gc import ConcurrentMarkSweepGC, G1GC, create_collector
+from repro.heap.heap import GenerationalHeap, HeapConfig
+from repro.machine.costs import CostModel
+from repro.units import GB, MB
+
+
+def make(gc, heap_mb=512, young_mb=64, **kw):
+    heap = GenerationalHeap(
+        HeapConfig(heap_bytes=heap_mb * MB, young_bytes=young_mb * MB),
+        n_mutator_threads=4,
+    )
+    return create_collector(gc, heap, CostModel(), rng=np.random.default_rng(3), **kw)
+
+
+def run_outcome_chain(collector, outcome, now):
+    """Execute scheduled continuations immediately (test harness)."""
+    pauses = list(outcome.pauses)
+    conc = list(outcome.concurrent)
+    t = now
+    while outcome.schedule:
+        schedule, outcome.schedule = outcome.schedule, []
+        for delay, fn in schedule:
+            t += delay
+            outcome = fn(t)
+            pauses.extend(outcome.pauses)
+            conc.extend(outcome.concurrent)
+    return pauses, conc, t
+
+
+class TestCMSCycle:
+    def _collector_with_pressure(self):
+        c = make("CMS")
+        # Old gen past the initiating occupancy (75 % of effective).
+        c.heap.allocate_old(0.0, 360 * MB, pinned=True)
+        c.heap.allocate(0.0, 20 * MB, None, pinned=True)
+        return c
+
+    def test_cycle_starts_above_initiating_occupancy(self):
+        c = self._collector_with_pressure()
+        outcome = c.allocation_failure(1.0)
+        assert c.cycle_state == "marking"
+        kinds = [p.kind for p in outcome.pauses]
+        assert "initial-mark" in kinds
+        assert outcome.schedule  # concurrent mark completion pending
+
+    def test_no_cycle_below_occupancy(self):
+        c = make("CMS")
+        c.heap.allocate(0.0, 20 * MB, None, pinned=True)
+        outcome = c.allocation_failure(1.0)
+        assert c.cycle_state == "idle"
+        assert not outcome.schedule
+
+    def test_full_cycle_reaches_idle_and_sweeps(self):
+        c = self._collector_with_pressure()
+        garbage = c.heap.allocate_old(0.0, 40 * MB, pinned=True)
+        garbage.release()
+        outcome = c.allocation_failure(1.0)
+        pauses, conc, _t = run_outcome_chain(c, outcome, 1.0)
+        kinds = [p.kind for p in pauses]
+        assert "remark" in kinds
+        assert {r.phase for r in conc} == {"concurrent-mark", "concurrent-sweep"}
+        assert c.cycle_state == "idle"
+        # the sweep reclaimed the released garbage in place
+        assert c.heap.old.used < 420 * MB
+
+    def test_sweep_adds_fragmentation(self):
+        c = self._collector_with_pressure()
+        garbage = c.heap.allocate_old(0.0, 40 * MB, pinned=True)
+        garbage.release()
+        run_outcome_chain(c, c.allocation_failure(1.0), 1.0)
+        assert 0 < c.heap.fragmentation <= c.heap.fragmentation_cap
+
+    def test_concurrent_mode_failure_aborts_cycle(self):
+        c = make("CMS", heap_mb=100, young_mb=80)
+        c.heap.allocate_old(0.0, 18 * MB, pinned=True)
+        c.heap.allocate(0.0, 40 * MB, None, pinned=True)
+        outcome = c.allocation_failure(1.0)
+        causes = [p.cause for p in outcome.pauses]
+        assert "Concurrent Mode Failure" in causes
+        assert c.cycle_state == "idle"
+
+    def test_stale_continuation_is_noop(self):
+        c = self._collector_with_pressure()
+        outcome = c.allocation_failure(1.0)
+        delay, fn = outcome.schedule[0]
+        c.explicit_gc(2.0)  # aborts the cycle
+        stale = fn(1.0 + delay)
+        assert not stale.pauses and not stale.schedule
+
+    def test_concurrent_threads_reported_during_cycle(self):
+        c = self._collector_with_pressure()
+        assert c.concurrent_threads_active == 0
+        c.allocation_failure(1.0)
+        assert c.concurrent_threads_active == c.conc_threads
+
+
+class TestG1:
+    def test_young_shrinks_when_pause_over_target(self):
+        c = make("G1", heap_mb=2048, young_mb=1024, pause_target=0.02)
+        young_before = c.heap.eden.capacity + 2 * c.heap.survivor.capacity
+        c.heap.allocate(0.0, 300 * MB, None, pinned=True)
+        c.allocation_failure(1.0)
+        young_after = c.heap.eden.capacity + 2 * c.heap.survivor.capacity
+        assert young_after < young_before
+
+    def test_young_grows_when_pause_under_target(self):
+        from repro.heap.lifetime import Exponential
+
+        c = make("G1", heap_mb=2048, young_mb=128, pause_target=5.0)
+        young_before = c.heap.eden.capacity + 2 * c.heap.survivor.capacity
+        c.heap.allocate(0.0, 50 * MB, Exponential(1e-6))
+        c.allocation_failure(1.0)
+        young_after = c.heap.eden.capacity + 2 * c.heap.survivor.capacity
+        assert young_after > young_before
+
+    def test_young_bounded_by_fractions(self):
+        c = make("G1", heap_mb=1024, young_mb=128, pause_target=100.0)
+        from repro.heap.lifetime import Exponential
+
+        for i in range(10):
+            c.heap.allocate(float(i), 10 * MB, Exponential(1e-6))
+            c.allocation_failure(float(i) + 0.5)
+        young = c.heap.eden.capacity + 2 * c.heap.survivor.capacity
+        assert young <= c.young_max_fraction * 1024 * MB + 32 * MB  # region rounding
+
+    def test_marking_cycle_starts_at_ihop(self):
+        c = make("G1", heap_mb=512, young_mb=64)
+        c.heap.allocate_old(0.0, 250 * MB, pinned=True)  # > 45 % of heap
+        c.heap.allocate(0.0, 20 * MB, None, pinned=True)
+        outcome = c.allocation_failure(1.0)
+        assert c.cycle_state == "marking"
+        assert "(initial-mark)" in outcome.pauses[0].cause
+
+    def test_remark_and_cleanup_then_mixed(self):
+        c = make("G1", heap_mb=512, young_mb=64)
+        c.heap.allocate_old(0.0, 250 * MB, pinned=True)
+        garbage = c.heap.allocate_old(0.0, 30 * MB, pinned=True)
+        garbage.release()
+        c.heap.allocate(0.0, 20 * MB, None, pinned=True)
+        outcome = c.allocation_failure(1.0)
+        pauses = list(outcome.pauses)
+        while outcome.schedule:
+            delay, fn = outcome.schedule.pop(0)
+            outcome = fn(1.0 + delay)
+            pauses.extend(outcome.pauses)
+        kinds = [p.kind for p in pauses]
+        assert "remark" in kinds and "cleanup" in kinds
+        assert c.mixed_remaining == c.mixed_count_target
+
+    def test_mixed_pause_evacuates_old_garbage(self):
+        c = make("G1", heap_mb=512, young_mb=64)
+        c._mixed_remaining = 2
+        partly_dead = c.heap.allocate_old(0.0, 40 * MB, pinned=True)
+        partly_dead.release()
+        c.heap.allocate(0.0, 20 * MB, None, pinned=True)
+        old_before = c.heap.old.used
+        outcome = c.allocation_failure(1.0)
+        assert outcome.pauses[0].kind == "mixed"
+        assert c.mixed_remaining == 1
+        assert c.heap.old.used < old_before + 25 * MB  # garbage reclaimed
+
+    def test_explicit_gc_resets_cycle_state(self):
+        c = make("G1", heap_mb=512, young_mb=64)
+        c._mixed_remaining = 3
+        c._state = "marking"
+        c.explicit_gc(1.0)
+        assert c.cycle_state == "idle" and c.mixed_remaining == 0
+
+    def test_g1_pause_target_flag(self):
+        c = make("G1", pause_target=0.05)
+        assert c.pause_target == 0.05

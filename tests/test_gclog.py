@@ -1,0 +1,98 @@
+"""Tests for GC log records, aggregation, formatting and parsing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gc.stats import ConcurrentRecord, GCLog, PauseRecord
+from repro.jvm.gclog import format_gc_log, format_pause, parse_gc_log
+from repro.units import GB, MB
+
+
+def sample_log():
+    log = GCLog()
+    log.record(PauseRecord(1.0, 0.25, "young", "Allocation Failure", "ParallelOldGC",
+                           heap_used_before=800 * MB, heap_used_after=200 * MB))
+    log.record(PauseRecord(5.0, 1.5, "full", "System.gc()", "ParallelOldGC",
+                           heap_used_before=900 * MB, heap_used_after=150 * MB))
+    log.record(PauseRecord(9.0, 0.10, "young", "Allocation Failure", "ParallelOldGC"))
+    log.record_concurrent(ConcurrentRecord(2.0, 3.0, "concurrent-mark", "ParallelOldGC"))
+    return log
+
+
+class TestGCLogAggregates:
+    def test_counts(self):
+        log = sample_log()
+        assert log.count == 3 and log.full_count == 1
+
+    def test_total_and_max(self):
+        log = sample_log()
+        assert log.total_pause == pytest.approx(1.85)
+        assert log.max_pause == 1.5
+
+    def test_avg(self):
+        assert sample_log().avg_pause == pytest.approx(1.85 / 3)
+
+    def test_empty_log_statistics(self):
+        log = GCLog()
+        assert log.avg_pause == 0.0 and log.max_pause == 0.0
+
+    def test_durations_and_starts_arrays(self):
+        log = sample_log()
+        np.testing.assert_allclose(log.durations(), [0.25, 1.5, 0.10])
+        np.testing.assert_allclose(log.starts(), [1.0, 5.0, 9.0])
+
+    def test_intervals_shape(self):
+        assert sample_log().intervals().shape == (3, 2)
+
+    def test_empty_intervals_shape(self):
+        assert GCLog().intervals().shape == (0, 2)
+
+    def test_between_filters(self):
+        sub = sample_log().between(4.0, 10.0)
+        assert sub.count == 2
+
+    def test_of_kind(self):
+        assert sample_log().of_kind("young").count == 2
+        assert sample_log().of_kind("full").count == 1
+
+    def test_pause_end(self):
+        assert sample_log().pauses[0].end == pytest.approx(1.25)
+
+    def test_summary_mentions_counts(self):
+        assert "3 pauses (1 full)" in sample_log().summary()
+
+
+class TestFormatParseRoundTrip:
+    def test_round_trip(self):
+        log = sample_log()
+        text = format_gc_log(log, 16 * GB)
+        parsed = parse_gc_log(text)
+        assert parsed.count == log.count
+        assert parsed.full_count == log.full_count
+        for orig, back in zip(log.pauses, parsed.pauses):
+            assert back.start == pytest.approx(orig.start, abs=1e-3)
+            assert back.duration == pytest.approx(orig.duration, abs=1e-4)
+            assert back.kind == orig.kind
+            assert back.cause == orig.cause
+
+    def test_full_gc_marked_in_text(self):
+        log = sample_log()
+        text = format_gc_log(log, 16 * GB)
+        assert "[Full GC (System.gc())" in text
+
+    def test_format_single_pause(self):
+        line = format_pause(sample_log().pauses[0], 16 * GB)
+        assert line.startswith("1.000: [GC (Allocation Failure)")
+        assert "0.2500 secs" in line
+
+    def test_parse_skips_blank_lines(self):
+        text = format_gc_log(sample_log(), 16 * GB) + "\n\n"
+        assert parse_gc_log(text).count == 3
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_gc_log("this is not a gc log")
+
+    def test_parse_empty_text(self):
+        assert parse_gc_log("").count == 0

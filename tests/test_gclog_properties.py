@@ -1,0 +1,69 @@
+"""Property-based round-trip tests for the HotSpot-style GC log."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gc.stats import GCLog, PauseRecord
+from repro.jvm.gclog import format_gc_log, parse_gc_log
+from repro.units import GB, MB
+
+kinds = st.sampled_from(["young", "full", "remark", "initial-mark", "mixed", "vm-op"])
+causes = st.sampled_from([
+    "Allocation Failure", "System.gc()", "Promotion Failure",
+    "Concurrent Mode Failure", "CMS Final Remark", "G1 Remark",
+    "To-space Exhausted (initial-mark)", "Deoptimize", "HTM Flip",
+])
+collectors = st.sampled_from([
+    "SerialGC", "ParNewGC", "ParallelGC", "ParallelOldGC",
+    "ConcMarkSweepGC", "G1GC", "HTMGC",
+])
+
+
+@st.composite
+def pause_records(draw):
+    start = draw(st.floats(0.0, 10_000.0))
+    return PauseRecord(
+        start=round(start, 3),
+        duration=round(draw(st.floats(0.0001, 300.0)), 4),
+        kind=draw(kinds),
+        cause=draw(causes),
+        collector=draw(collectors),
+        heap_used_before=draw(st.floats(0, 64 * GB)),
+        heap_used_after=draw(st.floats(0, 64 * GB)),
+    )
+
+
+class TestRoundTripProperties:
+    @given(records=st.lists(pause_records(), max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_round_trip(self, records):
+        log = GCLog()
+        for r in sorted(records, key=lambda r: r.start):
+            log.record(r)
+        text = format_gc_log(log, 64 * GB)
+        back = parse_gc_log(text)
+        assert back.count == log.count
+        assert back.full_count == log.full_count
+        for orig, parsed in zip(log.pauses, back.pauses):
+            assert parsed.start == pytest.approx(orig.start, abs=1e-3)
+            assert parsed.duration == pytest.approx(orig.duration, abs=1e-4)
+            assert parsed.kind == orig.kind
+            assert parsed.cause == orig.cause
+            assert parsed.collector == orig.collector
+            # heap sizes round-trip at MB resolution
+            assert parsed.heap_used_before == pytest.approx(
+                orig.heap_used_before, abs=0.5 * MB
+            )
+
+    @given(records=st.lists(pause_records(), min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregates_survive_round_trip(self, records):
+        log = GCLog()
+        for r in sorted(records, key=lambda r: r.start):
+            log.record(r)
+        back = parse_gc_log(format_gc_log(log, 64 * GB))
+        assert back.total_pause == pytest.approx(log.total_pause, rel=1e-3)
+        assert back.max_pause == pytest.approx(log.max_pause, rel=1e-3)
+        np.testing.assert_allclose(back.starts(), log.starts(), atol=1e-3)

@@ -1,0 +1,139 @@
+"""End-to-end tests of concurrent GC machinery inside real runs.
+
+The collector unit tests exercise cycle state machines by calling
+continuations directly; these tests verify the full pipeline — scheduled
+continuations flowing through the DES engine, safepoints interleaving
+with mutators — inside complete JVM runs.
+"""
+
+import pytest
+
+from repro import JVM, JVMConfig
+from repro.gc.base import Outcome
+from repro.sim import Engine
+from repro.errors import SimulationError
+from repro.units import GB, MB
+from repro.workloads.dacapo import get_benchmark
+from repro.workloads.synthetic import AllocationPhase, SyntheticWorkload
+from repro.heap.lifetime import Immortal
+
+
+class TestCMSEndToEnd:
+    @pytest.fixture(scope="class")
+    def cms_run(self, ):
+        # Old gen fills past the initiating occupancy -> cycles run.
+        jvm = JVM(JVMConfig(gc="CMS", heap=1 * GB, young=200 * MB, seed=2))
+        result = jvm.run(get_benchmark("h2"), iterations=10, system_gc=False)
+        return jvm, result
+
+    def test_remark_pauses_logged(self, cms_run):
+        jvm, result = cms_run
+        kinds = {p.kind for p in jvm.gc_log.pauses}
+        assert "initial-mark" in kinds
+        assert "remark" in kinds
+
+    def test_concurrent_phases_logged(self, cms_run):
+        jvm, _result = cms_run
+        phases = {c.phase for c in jvm.gc_log.concurrent}
+        assert "concurrent-mark" in phases
+        assert "concurrent-sweep" in phases
+
+    def test_remark_follows_its_initial_mark(self, cms_run):
+        jvm, _result = cms_run
+        initial_marks = [p.start for p in jvm.gc_log.pauses
+                         if p.kind == "initial-mark"]
+        remarks = [p.start for p in jvm.gc_log.pauses if p.kind == "remark"]
+        assert remarks, "no remark executed"
+        assert min(remarks) > min(initial_marks)
+
+    def test_concurrent_mark_duration_respected(self, cms_run):
+        """The remark pause lands after its concurrent mark completes."""
+        jvm, _result = cms_run
+        marks = [c for c in jvm.gc_log.concurrent if c.phase == "concurrent-mark"]
+        remarks = [p for p in jvm.gc_log.pauses if p.kind == "remark"]
+        for mark, remark in zip(marks, remarks):
+            assert remark.start >= mark.start + mark.duration - 1e-6
+
+
+class TestG1EndToEnd:
+    def test_marking_then_mixed_collections(self):
+        jvm = JVM(JVMConfig(gc="G1", heap=1 * GB, young=200 * MB, seed=2))
+        jvm.run(get_benchmark("h2"), iterations=10, system_gc=False)
+        kinds = [p.kind for p in jvm.gc_log.pauses]
+        assert "remark" in kinds and "cleanup" in kinds
+        assert "mixed" in kinds  # post-marking mixed evacuations happened
+
+    def test_young_resizes_during_run(self):
+        jvm = JVM(JVMConfig(gc="G1", heap=2 * GB, young=1 * GB, seed=2))
+        initial_eden = jvm.heap.eden.capacity
+        jvm.run(get_benchmark("lusearch"), iterations=5, system_gc=False)
+        assert jvm.heap.eden.capacity != initial_eden
+
+
+class TestHTMEndToEnd:
+    def test_concurrent_evacuations_complete(self):
+        jvm = JVM(JVMConfig(gc="HTM", heap=1 * GB, young=200 * MB, seed=2))
+        result = jvm.run(get_benchmark("lusearch"), iterations=5, system_gc=False)
+        assert not result.crashed
+        evacs = [c for c in jvm.gc_log.concurrent if c.phase == "htm-evacuation"]
+        assert evacs
+        # At run end no evacuation is still in flight.
+        assert jvm.collector.concurrent_threads_active == 0
+
+
+class TestWorldMisc:
+    def test_outcome_merge(self):
+        from repro.gc.base import STWPause
+
+        a = Outcome(pauses=[STWPause("young", "x", 0.1)])
+        b = Outcome(pauses=[STWPause("full", "y", 0.2)], schedule=[(1.0, None)])
+        a.merge(b)
+        assert len(a.pauses) == 2 and len(a.schedule) == 1
+
+    def test_engine_reentrant_run_rejected(self):
+        eng = Engine()
+
+        def proc():
+            with pytest.raises(SimulationError):
+                eng.run()
+            yield eng.timeout(0.1)
+
+        eng.process(proc())
+        eng.run()
+
+    def test_jvm_sleep(self, small_jvm_config):
+        from tests.test_jvm_threads import ScriptedWorkload
+
+        jvm = JVM(small_jvm_config())
+
+        def script(j, result):
+            yield from j.sleep(5.0)
+            result.extras["t"] = j.now
+
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.extras["t"] == pytest.approx(5.0)
+
+    def test_running_mutators_counts_unparked(self, small_jvm_config):
+        from tests.test_jvm_threads import ScriptedWorkload
+
+        jvm = JVM(small_jvm_config())
+
+        def script(j, result):
+            def body(ctx):
+                yield from ctx.work(1.0)
+
+            procs = [j.spawn_mutator(body) for _ in range(3)]
+            yield j.engine.timeout(0.5)
+            result.extras["running"] = j.world.running_mutators()
+            yield from j.join(procs)
+
+        result = jvm.run(ScriptedWorkload(script))
+        assert result.extras["running"] == 3
+
+    def test_synthetic_workload_with_misc_safepoints(self, small_jvm_config):
+        jvm = JVM(small_jvm_config(misc_safepoints=True,
+                                   misc_safepoint_interval=0.3))
+        phases = [AllocationPhase("serve", duration=2.0, alloc_rate=20 * MB)]
+        result = jvm.run(SyntheticWorkload(phases, threads=2))
+        assert not result.crashed
+        assert any(p.kind == "vm-op" for p in jvm.gc_log.pauses)

@@ -1,0 +1,106 @@
+"""Tests for JVM configuration and HotSpot flag parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gc import GCType
+from repro.jvm.flags import DEFAULT_YOUNG_FRACTION, JVMConfig, baseline_config
+from repro.machine.topology import PAPER_SERVER
+from repro.units import GB, MB
+
+
+class TestJVMConfig:
+    def test_defaults_are_paper_defaults(self):
+        cfg = JVMConfig()
+        assert cfg.gc is GCType.PARALLEL_OLD
+        assert cfg.tlab.enabled
+
+    def test_heap_accepts_strings(self):
+        assert JVMConfig(heap="32g").heap_bytes == 32 * GB
+
+    def test_young_defaults_to_fraction(self):
+        cfg = JVMConfig(heap=16 * GB)
+        assert cfg.young_bytes == pytest.approx(16 * GB * DEFAULT_YOUNG_FRACTION)
+
+    def test_explicit_young(self):
+        cfg = JVMConfig(heap=16 * GB, young="4g")
+        assert cfg.young_bytes == 4 * GB
+
+    def test_heap_larger_than_ram_rejected(self):
+        with pytest.raises(ConfigError):
+            JVMConfig(heap=128 * GB)  # paper server has 64 GB
+
+    def test_young_larger_than_heap_rejected(self):
+        with pytest.raises(ConfigError):
+            JVMConfig(heap=8 * GB, young=16 * GB)
+
+    def test_mutator_threads_default_one_per_core(self):
+        assert JVMConfig().mutator_threads == PAPER_SERVER.cores
+
+    def test_mutator_threads_override(self):
+        assert JVMConfig(n_threads=4).mutator_threads == 4
+
+    def test_with_returns_modified_copy(self):
+        cfg = JVMConfig(heap=16 * GB)
+        other = cfg.with_(gc="G1")
+        assert other.gc is GCType.G1
+        assert cfg.gc is GCType.PARALLEL_OLD
+
+    def test_gc_accepts_aliases(self):
+        assert JVMConfig(gc="cms").gc is GCType.CMS
+
+    def test_baseline_config_matches_paper(self):
+        cfg = baseline_config()
+        assert cfg.heap_bytes == 16 * GB
+        assert cfg.young_bytes == pytest.approx(5.6 * GB)
+        assert cfg.gc is GCType.PARALLEL_OLD
+
+
+class TestFlagParsing:
+    def test_basic_flags(self):
+        cfg = JVMConfig.from_flags(["-Xmx64g", "-Xmn12g", "-XX:+UseG1GC"])
+        assert cfg.heap_bytes == 64 * GB
+        assert cfg.young_bytes == 12 * GB
+        assert cfg.gc is GCType.G1
+
+    def test_every_gc_flag(self):
+        flags = {
+            "-XX:+UseSerialGC": GCType.SERIAL,
+            "-XX:+UseParNewGC": GCType.PARNEW,
+            "-XX:+UseParallelGC": GCType.PARALLEL,
+            "-XX:+UseParallelOldGC": GCType.PARALLEL_OLD,
+            "-XX:+UseConcMarkSweepGC": GCType.CMS,
+            "-XX:+UseG1GC": GCType.G1,
+        }
+        for flag, expected in flags.items():
+            assert JVMConfig.from_flags([flag]).gc is expected
+
+    def test_tlab_flags(self):
+        assert not JVMConfig.from_flags(["-XX:-UseTLAB"]).tlab.enabled
+        cfg = JVMConfig.from_flags(["-XX:+UseTLAB", "-XX:TLABSize=256k"])
+        assert cfg.tlab.enabled and cfg.tlab.size == 256 * 1024
+
+    def test_gc_threads_flag(self):
+        assert JVMConfig.from_flags(["-XX:ParallelGCThreads=8"]).gc_threads == 8
+
+    def test_pause_target_flag(self):
+        cfg = JVMConfig.from_flags(["-XX:MaxGCPauseMillis=50"])
+        assert cfg.pause_target == 0.05
+
+    def test_survivor_ratio_flag(self):
+        assert JVMConfig.from_flags(["-XX:SurvivorRatio=6"]).survivor_ratio == 6
+
+    def test_xms_xmx_must_agree(self):
+        with pytest.raises(ConfigError):
+            JVMConfig.from_flags(["-Xms8g", "-Xmx16g"])
+
+    def test_xms_alone_sets_heap(self):
+        assert JVMConfig.from_flags(["-Xms8g"]).heap_bytes == 8 * GB
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ConfigError):
+            JVMConfig.from_flags(["-XX:+UseShenandoahGC"])
+
+    def test_overrides_win(self):
+        cfg = JVMConfig.from_flags(["-Xmx8g"], seed=7)
+        assert cfg.seed == 7

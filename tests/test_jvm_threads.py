@@ -1,0 +1,219 @@
+"""Tests for mutator threads, safepoints and the stop-the-world protocol."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.heap.lifetime import Exponential
+from repro.jvm import JVM
+from repro.units import MB
+from repro.workloads.base import Workload
+
+
+class ScriptedWorkload(Workload):
+    """Runs a user-supplied driver function (testing harness)."""
+
+    name = "scripted"
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def drive(self, jvm, result, **kwargs):
+        yield from self.fn(jvm, result)
+
+
+def run_script(cfg, fn):
+    jvm = JVM(cfg)
+    result = jvm.run(ScriptedWorkload(fn))
+    return jvm, result
+
+
+class TestWork:
+    def test_work_advances_time(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.work(2.0)
+                result.extras["t"] = jvm.now
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        _jvm, result = run_script(small_jvm_config(), script)
+        assert result.extras["t"] == pytest.approx(2.0)
+        assert not result.crashed
+
+    def test_parallel_mutators_share_time(self, small_jvm_config):
+        # 16 threads on an 8-core machine run at half speed.
+        def script(jvm, result):
+            procs = []
+            for i in range(16):
+                def body(ctx):
+                    yield from ctx.work(1.0)
+
+                procs.append(jvm.spawn_mutator(body))
+            yield from jvm.join(procs)
+            result.extras["t"] = jvm.now
+
+        _jvm, result = run_script(small_jvm_config(), script)
+        assert result.extras["t"] == pytest.approx(2.0, rel=0.01)
+
+    def test_idle_not_scaled_by_load(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.idle(3.0)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+            result.extras["t"] = jvm.now
+
+        _jvm, result = run_script(small_jvm_config(), script)
+        assert result.extras["t"] == pytest.approx(3.0)
+
+
+class TestStopTheWorld:
+    def test_gc_pauses_other_mutators(self, small_jvm_config):
+        """A worker's 1 s of CPU work takes 1 s + the GC pauses that
+        interrupt it."""
+        def script(jvm, result):
+            def allocator(ctx):
+                # Allocate enough to force at least one young GC.
+                for i in range(6):
+                    yield from ctx.allocate(30 * MB, Exponential(0.01))
+
+            def worker(ctx):
+                yield from ctx.work(1.0)
+                result.extras["worker_done"] = jvm.now
+
+            procs = [jvm.spawn_mutator(allocator), jvm.spawn_mutator(worker)]
+            yield from jvm.join(procs)
+
+        jvm, result = run_script(small_jvm_config(), script)
+        assert jvm.gc_log.count >= 1
+        # Worker finished late by at least the pauses that preceded it.
+        stalls = sum(p.duration for p in jvm.gc_log.pauses
+                     if p.end <= result.extras["worker_done"])
+        assert result.extras["worker_done"] >= 1.0 + 0.9 * stalls
+
+    def test_explicit_system_gc_recorded(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.allocate(10 * MB, None, pinned=True)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+            yield from jvm.system_gc()
+
+        jvm, _result = run_script(small_jvm_config(), script)
+        assert jvm.gc_log.full_count == 1
+        assert jvm.gc_log.pauses[-1].cause == "System.gc()"
+
+    def test_total_stw_time_accumulates(self, small_jvm_config):
+        def script(jvm, result):
+            yield from jvm.system_gc()
+            yield from jvm.system_gc()
+
+        jvm, _result = run_script(small_jvm_config(), script)
+        assert jvm.world.total_stw_time == pytest.approx(jvm.gc_log.total_pause)
+
+    def test_time_to_safepoint_precedes_pause(self, small_jvm_config):
+        def script(jvm, result):
+            result.extras["before"] = jvm.now
+            yield from jvm.system_gc()
+            result.extras["after"] = jvm.now
+
+        jvm, result = run_script(small_jvm_config(), script)
+        elapsed = result.extras["after"] - result.extras["before"]
+        assert elapsed > jvm.gc_log.total_pause  # includes time-to-safepoint
+
+
+class TestAllocation:
+    def test_allocation_failure_triggers_gc_and_retries(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                # 6 x 40 MB through a ~102 MB eden: requires several GCs.
+                for _ in range(6):
+                    yield from ctx.allocate(40 * MB, Exponential(0.001))
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        jvm, result = run_script(small_jvm_config(), script)
+        assert not result.crashed
+        assert jvm.gc_log.count >= 1
+        assert jvm.gc_log.pauses[0].cause == "Allocation Failure"
+
+    def test_oversized_allocation_goes_to_old(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.allocate(110 * MB, None, pinned=True)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        jvm, result = run_script(small_jvm_config(), script)
+        assert not result.crashed
+        assert jvm.heap.old.used == pytest.approx(110 * MB)
+
+    def test_allocate_old_helper(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.allocate_old(50 * MB, None, pinned=True)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        jvm, result = run_script(small_jvm_config(), script)
+        assert jvm.heap.old.used == pytest.approx(50 * MB)
+
+    def test_out_of_memory_crashes_run(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                for _ in range(20):
+                    yield from ctx.allocate(60 * MB, None, pinned=True)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        _jvm, result = run_script(small_jvm_config(), script)
+        assert result.crashed
+        assert "OutOfMemoryError" in result.crash_reason
+
+    def test_allocation_overhead_recorded(self, small_jvm_config):
+        def script(jvm, result):
+            def body(ctx):
+                yield from ctx.allocate(20 * MB, Exponential(1.0), n_objects=5000)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        _jvm, result = run_script(small_jvm_config(), script)
+        assert result.alloc_overhead_time > 0
+        assert result.allocated_bytes == pytest.approx(20 * MB)
+
+
+class TestJVMLifecycle:
+    def test_jvm_single_use(self, small_jvm_config):
+        jvm = JVM(small_jvm_config())
+
+        def fn(j, r):
+            yield j.engine.timeout(0.1)
+
+        jvm.run(ScriptedWorkload(fn))
+        with pytest.raises(Exception):
+            jvm.run(ScriptedWorkload(fn))
+
+    def test_deterministic_runs(self, small_jvm_config):
+        def fn(jvm, result):
+            def body(ctx):
+                for _ in range(4):
+                    yield from ctx.allocate(30 * MB, Exponential(0.05))
+                    yield from ctx.work(0.2)
+
+            yield from jvm.join([jvm.spawn_mutator(body)])
+
+        times = []
+        for _ in range(2):
+            jvm = JVM(small_jvm_config(seed=11))
+            result = jvm.run(ScriptedWorkload(fn))
+            times.append((result.execution_time, result.gc_log.total_pause))
+        assert times[0] == times[1]
+
+    def test_run_result_summary_contains_gc(self, small_jvm_config):
+        jvm = JVM(small_jvm_config(gc="G1"))
+
+        def fn(j, r):
+            yield j.engine.timeout(0.1)
+
+        result = jvm.run(ScriptedWorkload(fn))
+        assert "G1GC" in result.summary()

@@ -1,0 +1,60 @@
+"""Tests for non-GC safepoints (paper §2: deopt, biased locks, vm ops)."""
+
+import pytest
+
+from repro import JVM, baseline_config
+from repro.workloads.dacapo import get_benchmark
+
+
+def run(misc: bool, interval: float = 0.5, seed: int = 1):
+    cfg = baseline_config(seed=seed, misc_safepoints=misc,
+                          misc_safepoint_interval=interval)
+    jvm = JVM(cfg)
+    result = jvm.run(get_benchmark("lusearch"), iterations=5, system_gc=False)
+    return jvm, result
+
+
+class TestMiscSafepoints:
+    def test_disabled_by_default(self):
+        jvm, _result = run(misc=False)
+        assert not any(p.kind == "vm-op" for p in jvm.gc_log.pauses)
+
+    def test_emitted_when_enabled(self):
+        jvm, result = run(misc=True)
+        vm_ops = [p for p in jvm.gc_log.pauses if p.kind == "vm-op"]
+        assert vm_ops
+        assert not result.crashed
+
+    def test_causes_are_hotspot_causes(self):
+        jvm, _result = run(misc=True)
+        causes = {p.cause for p in jvm.gc_log.pauses if p.kind == "vm-op"}
+        assert causes <= {"Deoptimize", "RevokeBias", "no vm operation"}
+
+    def test_durations_are_small(self):
+        jvm, _result = run(misc=True)
+        for p in jvm.gc_log.pauses:
+            if p.kind == "vm-op":
+                assert p.duration < 0.01
+
+    def test_loop_terminates(self):
+        """The vm-op loop retires when the workload finishes (the
+        simulation does not hang with an eternal event source)."""
+        _jvm, result = run(misc=True)
+        assert not result.crashed
+        assert result.execution_time < 120.0
+
+    def test_more_frequent_with_shorter_interval(self):
+        _jvm_a, ra = run(misc=True, interval=2.0)
+        _jvm_b, rb = run(misc=True, interval=0.2)
+        count = lambda r: sum(1 for p in r.gc_log.pauses if p.kind == "vm-op")
+        assert count(rb) > count(ra)
+
+    def test_vm_ops_stop_the_world(self):
+        """vm-op pauses accumulate into the total STW time like GC pauses."""
+        jvm, _result = run(misc=True)
+        assert jvm.world.total_stw_time == pytest.approx(jvm.gc_log.total_pause)
+
+    def test_gc_statistics_separable(self):
+        jvm, _result = run(misc=True)
+        gcs_only = jvm.gc_log.of_kind("young", "full")
+        assert gcs_only.count < jvm.gc_log.count

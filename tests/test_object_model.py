@@ -1,0 +1,251 @@
+"""Tests for the explicit object graph: tracing, barrier, collections."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, HeapError
+from repro.heap.object_model import GraphCollectResult, ObjectGraph, OLD, YOUNG
+
+
+def build_chain(graph, n, root=True):
+    """Allocate a chain o1 -> o2 -> ... -> oN; returns the objects."""
+    objs = [graph.allocate(100.0) for _ in range(n)]
+    for a, b in zip(objs, objs[1:]):
+        graph.add_ref(a.oid, b.oid)
+    if root:
+        graph.add_root(objs[0].oid)
+    return objs
+
+
+class TestAllocationAndRoots:
+    def test_allocate_young(self):
+        g = ObjectGraph()
+        o = g.allocate(64.0)
+        assert o.gen == YOUNG
+        assert g.young_bytes == 64.0
+
+    def test_allocate_with_root(self):
+        g = ObjectGraph()
+        o = g.allocate(1.0, root=True)
+        assert o.oid in g.roots
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ObjectGraph().allocate(-1.0)
+
+    def test_add_root_unknown_object(self):
+        with pytest.raises(HeapError):
+            ObjectGraph().add_root(999)
+
+    def test_remove_root(self):
+        g = ObjectGraph()
+        o = g.allocate(1.0, root=True)
+        g.remove_root(o.oid)
+        assert o.oid not in g.roots
+
+
+class TestTracing:
+    def test_chain_fully_reachable(self):
+        g = ObjectGraph()
+        objs = build_chain(g, 5)
+        assert g.reachable_all() == {o.oid for o in objs}
+
+    def test_unrooted_chain_unreachable(self):
+        g = ObjectGraph()
+        build_chain(g, 3, root=False)
+        assert g.reachable_all() == set()
+
+    def test_cycle_does_not_hang(self):
+        g = ObjectGraph()
+        a, b = g.allocate(1.0), g.allocate(1.0)
+        g.add_ref(a.oid, b.oid)
+        g.add_ref(b.oid, a.oid)
+        g.add_root(a.oid)
+        assert g.reachable_all() == {a.oid, b.oid}
+
+    def test_deep_chain_iterative(self):
+        g = ObjectGraph()
+        build_chain(g, 5000)  # would overflow a recursive tracer
+        assert len(g.reachable_all()) == 5000
+
+
+class TestWriteBarrier:
+    def test_old_to_young_enters_remset(self):
+        g = ObjectGraph()
+        old = g.allocate(1.0, root=True)
+        old.gen = OLD
+        g.young_bytes -= old.size
+        g.old_bytes += old.size
+        young = g.allocate(1.0)
+        g.add_ref(old.oid, young.oid)
+        assert old.oid in g.remset
+
+    def test_young_to_young_not_in_remset(self):
+        g = ObjectGraph()
+        a, b = g.allocate(1.0), g.allocate(1.0)
+        g.add_ref(a.oid, b.oid)
+        assert not g.remset
+
+    def test_set_ref_overwrites_with_barrier(self):
+        g = ObjectGraph()
+        src = g.allocate(1.0, root=True)
+        a, b = g.allocate(1.0), g.allocate(1.0)
+        g.add_ref(src.oid, a.oid)
+        g.set_ref(src.oid, 0, b.oid)
+        assert src.refs == [b.oid]
+
+    def test_set_ref_none_deletes_slot(self):
+        g = ObjectGraph()
+        src = g.allocate(1.0, root=True)
+        a = g.allocate(1.0)
+        g.add_ref(src.oid, a.oid)
+        g.set_ref(src.oid, 0, None)
+        assert src.refs == []
+
+    def test_set_ref_bad_index(self):
+        g = ObjectGraph()
+        src = g.allocate(1.0)
+        with pytest.raises(ConfigError):
+            g.set_ref(src.oid, 3, src.oid)
+
+    def test_dangling_ref_rejected(self):
+        g = ObjectGraph()
+        src = g.allocate(1.0)
+        with pytest.raises(HeapError):
+            g.add_ref(src.oid, 424242)
+
+
+class TestMinorCollection:
+    def test_unreachable_young_freed(self):
+        g = ObjectGraph()
+        build_chain(g, 3, root=False)
+        res = g.minor_collect(tenuring_threshold=6)
+        assert res.freed_objects == 3
+        assert g.young_bytes == 0.0
+
+    def test_reachable_young_survive_and_age(self):
+        g = ObjectGraph()
+        objs = build_chain(g, 3)
+        res = g.minor_collect(tenuring_threshold=6)
+        assert res.freed_objects == 0
+        assert all(o.age == 1 for o in objs)
+
+    def test_tenuring_promotes_old_enough(self):
+        g = ObjectGraph()
+        [obj] = build_chain(g, 1)
+        for _ in range(3):
+            g.minor_collect(tenuring_threshold=2)
+        assert obj.gen == OLD
+        assert g.old_bytes == obj.size
+
+    def test_promoted_with_young_refs_enters_remset(self):
+        g = ObjectGraph()
+        parent = g.allocate(1.0, root=True)
+        for _ in range(3):
+            g.minor_collect(tenuring_threshold=2)
+        assert parent.gen == OLD
+        child = g.allocate(1.0)
+        g.add_ref(parent.oid, child.oid)
+        res = g.minor_collect(tenuring_threshold=6)
+        # the child is only reachable through the remembered set
+        assert res.freed_objects == 0
+        assert child.oid in g.objects
+
+    def test_minor_does_not_touch_old_garbage(self):
+        g = ObjectGraph()
+        o = g.allocate(10.0)  # unrooted
+        o.gen = OLD
+        g.young_bytes -= o.size
+        g.old_bytes += o.size
+        res = g.minor_collect(tenuring_threshold=6)
+        assert res.freed_objects == 0
+        assert o.oid in g.objects
+
+    def test_volumes_accounted(self):
+        g = ObjectGraph()
+        build_chain(g, 4)
+        garbage = [g.allocate(50.0) for _ in range(2)]
+        res = g.minor_collect(tenuring_threshold=6)
+        assert res.freed_bytes == 100.0
+        assert res.copied_bytes == 400.0
+        del garbage
+
+
+class TestFullCollection:
+    def test_full_frees_old_garbage(self):
+        g = ObjectGraph()
+        o = g.allocate(10.0)
+        o.gen = OLD
+        g.young_bytes -= o.size
+        g.old_bytes += o.size
+        res = g.full_collect()
+        assert res.freed_bytes == 10.0
+        assert g.old_bytes == 0.0
+
+    def test_full_promotes_young_survivors(self):
+        g = ObjectGraph()
+        objs = build_chain(g, 3)
+        g.full_collect()
+        assert all(o.gen == OLD for o in objs)
+        assert g.young_bytes == 0.0
+
+    def test_full_clears_remset(self):
+        g = ObjectGraph()
+        parent = g.allocate(1.0, root=True)
+        for _ in range(3):
+            g.minor_collect(tenuring_threshold=2)
+        child = g.allocate(1.0)
+        g.add_ref(parent.oid, child.oid)
+        g.full_collect()
+        assert not g.remset  # child was promoted too
+
+    def test_invariants_hold_after_collections(self):
+        g = ObjectGraph()
+        build_chain(g, 10)
+        build_chain(g, 5, root=False)
+        g.minor_collect(tenuring_threshold=1)
+        g.minor_collect(tenuring_threshold=1)
+        g.full_collect()
+        g.check_invariants()
+
+
+class TestHypothesisReachability:
+    @given(
+        edges=st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40),
+        roots=st.sets(st.integers(0, 14), max_size=5),
+        threshold=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_collections_preserve_reachability(self, edges, roots, threshold):
+        """Whatever the graph shape, live objects are never collected and
+        the reachable set is unchanged by minor+full collections."""
+        g = ObjectGraph()
+        objs = [g.allocate(10.0) for _ in range(15)]
+        for a, b in edges:
+            g.add_ref(objs[a].oid, objs[b].oid)
+        for r in roots:
+            g.add_root(objs[r].oid)
+        live_before = g.reachable_all()
+        g.minor_collect(threshold)
+        g.minor_collect(threshold)
+        g.full_collect()
+        assert g.reachable_all() == live_before
+        assert set(g.objects) == live_before
+        g.check_invariants()
+
+    @given(
+        sizes=st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=20),
+        root_mask=st.lists(st.booleans(), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_byte_conservation(self, sizes, root_mask):
+        """freed + retained bytes == allocated bytes."""
+        g = ObjectGraph()
+        allocated = 0.0
+        for i, size in enumerate(sizes):
+            rooted = root_mask[i % len(root_mask)]
+            g.allocate(size, root=rooted)
+            allocated += size
+        res = g.full_collect()
+        assert res.freed_bytes + g.total_bytes == pytest.approx(allocated)

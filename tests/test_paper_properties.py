@@ -1,0 +1,178 @@
+"""Integration tests: the paper's headline findings hold in the simulator.
+
+These run the real experiment pipelines at full or moderately reduced
+scale (a few seconds of wall time each); the benchmarks regenerate the
+full tables and figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GB, JVM, JVMConfig, MB, baseline_config
+from repro.analysis.latency import gc_overlap_fraction
+from repro.cassandra import CassandraServer, stress_config
+from repro.workloads.dacapo import get_benchmark
+from repro.ycsb import WORKLOAD_A_LIKE, YCSBClient
+from repro.cassandra import default_config
+
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def run_xalan(gc, system_gc, seed=1):
+    jvm = JVM(baseline_config(gc=gc, seed=seed))
+    return jvm.run(get_benchmark("xalan"), iterations=10, system_gc=system_gc)
+
+
+def median_xalan(gc, system_gc):
+    """Median execution / final-iteration times over the seed set.
+
+    The paper compares one run per GC; we use a seed median so the
+    assertions are robust to the calibrated run-to-run noise."""
+    runs = [run_xalan(gc, system_gc, seed) for seed in SEEDS]
+    return (
+        float(np.median([r.execution_time for r in runs])),
+        float(np.median([r.final_iteration_time for r in runs])),
+    )
+
+
+class TestDaCapoFindings:
+    """§3.3: Figure 1/2 shapes on xalan."""
+
+    @pytest.fixture(scope="class")
+    def xalan_sysgc(self):
+        return {gc: median_xalan(gc, True) for gc in
+                ("SerialGC", "ParallelGC", "ParallelOldGC", "G1GC")}
+
+    def test_g1_worst_with_forced_full_gcs(self, xalan_sysgc):
+        g1 = xalan_sysgc["G1GC"][0]
+        others = [t for gc, (t, _f) in xalan_sysgc.items() if gc != "G1GC"]
+        assert g1 > max(others)
+        # "...which can be 25% longer than for all the other GCs"
+        assert g1 > 1.15 * np.mean(others)
+
+    def test_parallel_old_best_with_system_gc(self, xalan_sysgc):
+        po = xalan_sysgc["ParallelOldGC"][0]
+        assert po == min(t for t, _f in xalan_sysgc.values())
+
+    def test_g1_worst_final_iteration(self, xalan_sysgc):
+        finals = {gc: f for gc, (_t, f) in xalan_sysgc.items()}
+        assert max(finals, key=finals.get) == "G1GC"
+
+    def test_parallel_second_worst_final_iteration(self, xalan_sysgc):
+        """Figure 2(a): G1 worst, ParallelGC second worst (serial full GCs)."""
+        finals = {gc: f for gc, (_t, f) in xalan_sysgc.items()}
+        ranked = sorted(finals, key=finals.get)
+        assert ranked[-1] == "G1GC"
+        assert ranked[-2] == "ParallelGC"
+
+    def test_serial_worst_without_system_gc(self):
+        """Figure 1(b): 'the worst performance is given by the SerialGC'."""
+        results = {gc: median_xalan(gc, False)[0] for gc in
+                   ("SerialGC", "ParNewGC", "ParallelOldGC", "ConcMarkSweepGC")}
+        worst = max(results, key=results.get)
+        assert worst == "SerialGC"
+
+    def test_every_iteration_has_a_system_gc_pause(self):
+        log = run_xalan("ParallelOldGC", True).gc_log
+        assert sum(1 for p in log.pauses if p.cause == "System.gc()") == 9
+
+
+class TestYoungGenAnomaly:
+    """§3.3 / Table 3: CMS & ParNew anomalous, ParallelOld 'as expected'."""
+
+    def _avg_pause(self, gc, young):
+        jvm = JVM(JVMConfig(gc=gc, heap=64 * GB, young=young, seed=2))
+        res = jvm.run(get_benchmark("h2"), iterations=10, system_gc=False)
+        return res.gc_log.avg_pause
+
+    @pytest.mark.parametrize("gc", ["ConcMarkSweepGC", "ParNewGC"])
+    def test_cms_family_smaller_young_longer_avg_pause(self, gc):
+        assert self._avg_pause(gc, 6 * GB) > self._avg_pause(gc, 24 * GB)
+
+    def test_parallel_old_behaves_as_expected(self):
+        # Expected (Blackburn et al.): avg pause decreases with decreasing
+        # young generation size.
+        assert self._avg_pause("ParallelOldGC", 6 * GB) < self._avg_pause(
+            "ParallelOldGC", 24 * GB
+        )
+
+
+class TestSmallHeapThrashing:
+    """Table 3 lower rows: hundreds of pauses, >50 % of time in GC."""
+
+    def test_250mb_heap_dominated_by_gc(self):
+        jvm = JVM(JVMConfig(gc="CMS", heap=250 * MB, young=200 * MB, seed=2))
+        res = jvm.run(get_benchmark("h2"), iterations=10, system_gc=False)
+        assert not res.crashed
+        assert res.gc_log.count > 100
+        assert res.gc_log.full_count > 50
+        assert res.gc_log.total_pause / res.execution_time > 0.5
+
+
+class TestCassandraFindings:
+    """§4.1: ParallelOld unacceptable, CMS/G1 seconds-long pauses."""
+
+    @pytest.fixture(scope="class")
+    def stress_runs(self):
+        out = {}
+        for gc in ("ParallelOld", "CMS", "G1"):
+            jvm = JVM(JVMConfig(gc=gc, heap=64 * GB, young=12 * GB, seed=3))
+            server = CassandraServer(stress_config(64 * GB, preload_records=8_000_000))
+            out[gc] = jvm.run(server, duration=7200.0, ops_per_second=1350.0)
+        return out
+
+    def test_parallel_old_minutes_long_full_gc(self, stress_runs):
+        fulls = [p for p in stress_runs["ParallelOld"].gc_log.pauses if p.is_full]
+        assert fulls, "ParallelOld should hit a full GC on the stress test"
+        assert max(p.duration for p in fulls) > 120.0  # "around 4 minutes"
+
+    def test_cms_and_g1_no_full_gc(self, stress_runs):
+        assert stress_runs["CMS"].gc_log.full_count == 0
+        assert stress_runs["G1"].gc_log.full_count == 0
+
+    def test_cms_g1_pauses_seconds_not_minutes(self, stress_runs):
+        for gc in ("CMS", "G1"):
+            longest = stress_runs[gc].gc_log.max_pause
+            assert 1.0 < longest < 15.0, gc
+
+    def test_parallel_old_young_pauses_tens_of_seconds(self, stress_runs):
+        young = [p.duration for p in stress_runs["ParallelOld"].gc_log.pauses
+                 if not p.is_full]
+        assert max(young) > 10.0
+
+
+class TestClientFindings:
+    """§4.2: latency peaks are GC-caused; PO > CMS > G1 average latency."""
+
+    @pytest.fixture(scope="class")
+    def client_runs(self):
+        out = {}
+        for gc in ("ParallelOld", "CMS", "G1"):
+            client = YCSBClient(WORKLOAD_A_LIKE, seed=7)
+            out[gc] = client.run(
+                JVMConfig(gc=gc, heap=64 * GB, young=12 * GB, seed=7),
+                default_config(64 * GB),
+                duration=3600.0,
+            )
+        return out
+
+    def test_high_latencies_are_gc_caused(self, client_runs):
+        for gc, cr in client_runs.items():
+            frac = gc_overlap_fraction(cr.op_times, cr.latencies_ms,
+                                       cr.pause_intervals, threshold_factor=4.0)
+            assert frac > 0.95, gc
+
+    def test_average_latency_ordering(self, client_runs):
+        avg = {gc: cr.reads.latencies_ms.mean() for gc, cr in client_runs.items()}
+        assert avg["ParallelOld"] > avg["CMS"] > avg["G1"]
+
+    def test_update_band_constant(self, client_runs):
+        """The bulk of update latencies sits on a tight constant line."""
+        u = client_runs["G1"].updates.latencies_ms
+        bulk = u[u < np.percentile(u, 95)]
+        assert bulk.std() / bulk.mean() < 0.5
+
+    def test_min_latencies_sub_millisecond_scale(self, client_runs):
+        for cr in client_runs.values():
+            assert cr.latencies_ms.min() < 1.5

@@ -1,0 +1,86 @@
+"""Tests for the paper reference-data module and its comparison helpers."""
+
+import pytest
+
+from repro import paper
+from repro.gc import GC_NAMES
+from repro.machine import PAPER_SERVER
+from repro.units import GB
+from repro.workloads.dacapo import CRASHING_BENCHMARKS, STABLE_SUBSET
+
+
+class TestReferenceDataConsistency:
+    def test_machine_matches_topology_model(self):
+        assert paper.MACHINE["cores"] == PAPER_SERVER.cores
+        assert paper.MACHINE["sockets"] == PAPER_SERVER.sockets
+        assert paper.MACHINE["ram_bytes"] == PAPER_SERVER.ram_bytes
+
+    def test_baseline_matches_flags_module(self):
+        from repro.jvm.flags import baseline_config
+
+        cfg = baseline_config()
+        assert paper.BASELINE["heap_bytes"] == cfg.heap_bytes
+        assert paper.BASELINE["young_bytes"] == pytest.approx(cfg.young_bytes)
+        assert paper.BASELINE["gc"] == cfg.gc.value
+
+    def test_table2_covers_stable_subset(self):
+        assert set(paper.TABLE2_RSD) == set(STABLE_SUBSET)
+
+    def test_crashers_match_suite(self):
+        assert sorted(paper.CRASHING_BENCHMARKS) == CRASHING_BENCHMARKS
+
+    def test_table3_rows_cover_the_grid(self):
+        heaps = {row.heap_bytes for row in paper.TABLE3_H2_CMS}
+        assert 64 * GB in heaps and 250 * 1024 ** 2 in heaps
+        assert len(paper.TABLE3_H2_CMS) == 10
+
+    def test_table4_covers_all_gcs(self):
+        for name, cells in paper.TABLE4_TLAB.items():
+            assert set(cells) == set(GC_NAMES), name
+            assert set(cells.values()) <= {"+", "=", "-"}
+
+    def test_fig3_system_gc_excludes_g1(self):
+        assert paper.FIG3_RANKING["system_gc"]["G1GC"] == 0.0
+
+    def test_tables567_cover_three_main_gcs(self):
+        assert set(paper.TABLES567) == {
+            "ParallelOldGC", "G1GC", "ConcMarkSweepGC"
+        }
+
+    def test_table8_labels_well_formed(self):
+        for (gc, env), (throughput, pause) in paper.TABLE8.items():
+            assert env in ("DaCapo", "Cassandra")
+            assert throughput in ("good", "fairly good", "bad")
+            assert pause in ("short", "acceptable", "significant", "unacceptable")
+
+
+class TestComparisonHelpers:
+    def test_compare_value(self):
+        rec = paper.compare_value(2.0, 3.0)
+        assert rec["ratio"] == pytest.approx(1.5)
+        assert rec["rel_error"] == pytest.approx(0.5)
+
+    def test_same_direction_true(self):
+        assert paper.same_direction([(1.33, 0.55)], [(8.4, 3.4)])
+
+    def test_same_direction_false(self):
+        assert not paper.same_direction([(1.33, 0.55)], [(3.4, 8.4)])
+
+    def test_same_direction_ignores_paper_ties(self):
+        assert paper.same_direction([(1.0, 1.0)], [(2.0, 5.0)])
+
+
+class TestPaperAnomalyEncoded:
+    def test_table3_contains_the_anomaly(self):
+        """The reference data itself carries the paper's young-gen anomaly:
+        avg pause at 6 GB young exceeds the larger-young rows."""
+        rows = {row.young_bytes: row for row in paper.TABLE3_H2_CMS
+                if row.heap_bytes == 64 * GB}
+        assert rows[6 * GB].avg_pause_s > rows[24 * GB].avg_pause_s
+        assert rows[6 * GB].avg_pause_s > rows[48 * GB].avg_pause_s
+
+    def test_table3_small_heap_thrashing(self):
+        worst = next(row for row in paper.TABLE3_H2_CMS
+                     if row.heap_bytes == 250 * 1024 ** 2
+                     and row.young_bytes == 200 * 1024 ** 2)
+        assert worst.total_pause_s / worst.total_exec_s > 0.5

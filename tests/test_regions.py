@@ -1,0 +1,56 @@
+"""Tests for G1 region geometry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.heap.regions import RegionTable, ergonomic_region_size
+from repro.units import GB, MB
+
+
+class TestErgonomicSize:
+    def test_small_heap_min_region(self):
+        assert ergonomic_region_size(256 * MB) == 1 * MB
+
+    def test_64g_heap_gets_32mb_regions(self):
+        assert ergonomic_region_size(64 * GB) == 32 * MB
+
+    def test_power_of_two(self):
+        size = int(ergonomic_region_size(10 * GB))
+        assert size & (size - 1) == 0
+
+    def test_targets_2048_regions(self):
+        size = ergonomic_region_size(16 * GB)
+        assert size == 8 * MB  # 16 GB / 2048
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            ergonomic_region_size(0)
+
+
+class TestRegionTable:
+    def test_for_heap(self):
+        t = RegionTable.for_heap(16 * GB)
+        assert t.total_regions == 2048
+
+    def test_humongous_threshold_half_region(self):
+        t = RegionTable.for_heap(16 * GB)
+        assert t.humongous_threshold == 4 * MB
+
+    def test_regions_for_rounds_up(self):
+        t = RegionTable(heap_bytes=16 * GB, region_size=8 * MB)
+        assert t.regions_for(1) == 1
+        assert t.regions_for(8 * MB) == 1
+        assert t.regions_for(8 * MB + 1) == 2
+
+    def test_bytes_for(self):
+        t = RegionTable(heap_bytes=16 * GB, region_size=8 * MB)
+        assert t.bytes_for(3) == 24 * MB
+
+    def test_regions_for_rejects_negative(self):
+        t = RegionTable.for_heap(1 * GB)
+        with pytest.raises(ConfigError):
+            t.regions_for(-1)
+
+    def test_region_bigger_than_heap_rejected(self):
+        with pytest.raises(ConfigError):
+            RegionTable(heap_bytes=1 * MB, region_size=2 * MB)

@@ -1,0 +1,50 @@
+"""Tests for deterministic seed derivation (stream independence)."""
+
+import numpy as np
+import pytest
+
+from repro.seeding import derive_seed, rng_for
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "xalan", "G1GC") == derive_seed(1, "xalan", "G1GC")
+
+    def test_sensitive_to_every_part(self):
+        base = derive_seed(1, "xalan", "G1GC")
+        assert derive_seed(2, "xalan", "G1GC") != base
+        assert derive_seed(1, "pmd", "G1GC") != base
+        assert derive_seed(1, "xalan", "SerialGC") != base
+
+    def test_order_matters(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_in_63_bit_range(self):
+        for parts in ((0,), (1, 2, 3), ("x",) * 5):
+            s = derive_seed(*parts)
+            assert 0 <= s < 2 ** 63
+
+    def test_mixed_types(self):
+        assert isinstance(derive_seed(7, "str", 3), int)
+
+
+class TestStreamIndependence:
+    def test_first_draws_well_dispersed_across_seeds(self):
+        """The regression that motivated this module: nearby integer seeds
+        sharing trailing salt values must still produce ~N(0,1)-dispersed
+        first draws (list-seeded default_rng did not)."""
+        draws = np.array([
+            rng_for(seed, "xalan", "ParallelOldGC").normal() for seed in range(40)
+        ])
+        assert 0.7 < draws.std(ddof=1) < 1.4
+        assert abs(draws.mean()) < 0.5
+
+    def test_streams_differ_between_salts(self):
+        a = rng_for(1, "a").normal(size=8)
+        b = rng_for(1, "b").normal(size=8)
+        assert not np.allclose(a, b)
+
+    def test_same_parts_same_stream(self):
+        a = rng_for(3, "x", "y").normal(size=8)
+        b = rng_for(3, "x", "y").normal(size=8)
+        np.testing.assert_array_equal(a, b)

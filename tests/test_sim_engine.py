@@ -1,0 +1,110 @@
+"""Tests for the DES engine: clock, event ordering, run control."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event, Timeout
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_run_empty_queue_with_until_advances_clock(self):
+        eng = Engine()
+        eng.run(until=10.0)
+        assert eng.now == 10.0
+
+    def test_timeout_advances_clock(self):
+        eng = Engine()
+        Timeout(eng, 3.0)
+        eng.run()
+        assert eng.now == 3.0
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        for delay in (5.0, 1.0, 3.0):
+            ev = Timeout(eng, delay, value=delay)
+            ev.callbacks.append(lambda e: fired.append(e.value))
+        eng.run()
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_same_time_events_fifo(self):
+        eng = Engine()
+        fired = []
+        for tag in ("a", "b", "c"):
+            ev = Timeout(eng, 1.0, value=tag)
+            ev.callbacks.append(lambda e: fired.append(e.value))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        fired = []
+        ev = Timeout(eng, 10.0, value="late")
+        ev.callbacks.append(lambda e: fired.append(e.value))
+        eng.run(until=5.0)
+        assert fired == []
+        assert eng.now == 5.0
+        eng.run()
+        assert fired == ["late"]
+
+    def test_max_events_limits_processing(self):
+        eng = Engine()
+        fired = []
+        for i in range(5):
+            ev = Timeout(eng, float(i + 1), value=i)
+            ev.callbacks.append(lambda e: fired.append(e.value))
+        eng.run(max_events=2)
+        assert len(fired) == 2
+
+
+class TestScheduling:
+    def test_call_at_runs_callback(self):
+        eng = Engine()
+        seen = []
+        eng.call_at(2.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [2.5]
+
+    def test_call_at_in_past_rejected(self):
+        eng = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            eng.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(Event(eng), delay=-1.0)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().step()
+
+    def test_peek_returns_next_event_time(self):
+        eng = Engine()
+        Timeout(eng, 7.0)
+        assert eng.peek() == 7.0
+
+    def test_peek_empty_queue(self):
+        assert Engine().peek() is None
+
+
+class TestHelpers:
+    def test_engine_timeout_helper(self):
+        eng = Engine()
+        t = eng.timeout(1.5, value="x")
+        assert isinstance(t, Timeout)
+        eng.run()
+        assert eng.now == 1.5
+
+    def test_engine_event_helper_untriggered(self):
+        eng = Engine()
+        ev = eng.event()
+        assert not ev.triggered

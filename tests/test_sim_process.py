@@ -1,0 +1,257 @@
+"""Tests for DES processes: generators, waiting, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AnyOf, Engine, Event, Interrupt, Process, Timeout
+
+
+class TestBasicProcess:
+    def test_process_runs_to_completion(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield eng.timeout(1.0)
+            log.append(eng.now)
+            yield eng.timeout(2.0)
+            log.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert log == [1.0, 3.0]
+
+    def test_process_return_value_becomes_event_value(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            return 42
+
+        p = eng.process(proc())
+        eng.run()
+        assert p.value == 42
+
+    def test_process_is_alive_until_done(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+
+        p = eng.process(proc())
+        assert p.is_alive
+        eng.run()
+        assert not p.is_alive
+
+    def test_waiting_on_another_process(self):
+        eng = Engine()
+        order = []
+
+        def child():
+            yield eng.timeout(2.0)
+            order.append("child")
+            return "result"
+
+        def parent():
+            value = yield eng.process(child())
+            order.append("parent")
+            assert value == "result"
+
+        eng.process(parent())
+        eng.run()
+        assert order == ["child", "parent"]
+
+    def test_yielding_non_event_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield 5
+
+        eng.process(proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_non_generator_rejected(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            Process(eng, lambda: None)
+
+    def test_yield_already_processed_event_resumes_immediately(self):
+        eng = Engine()
+        done = eng.event()
+        done.succeed("v")
+        eng.run()  # process the event
+        got = []
+
+        def proc():
+            value = yield done
+            got.append((eng.now, value))
+
+        eng.process(proc())
+        eng.run()
+        assert got == [(0.0, "v")]
+
+
+class TestEventTriggering:
+    def test_succeed_wakes_waiter_with_value(self):
+        eng = Engine()
+        gate = eng.event()
+        got = []
+
+        def waiter():
+            value = yield gate
+            got.append(value)
+
+        def signaller():
+            yield eng.timeout(3.0)
+            gate.succeed("go")
+
+        eng.process(waiter())
+        eng.process(signaller())
+        eng.run()
+        assert got == ["go"]
+
+    def test_fail_raises_in_waiter(self):
+        eng = Engine()
+        gate = eng.event()
+
+        def waiter():
+            with pytest.raises(ValueError):
+                yield gate
+            yield eng.timeout(1.0)
+
+        def signaller():
+            yield eng.timeout(1.0)
+            gate.fail(ValueError("boom"))
+
+        eng.process(waiter())
+        eng.process(signaller())
+        eng.run()
+        assert eng.now == 2.0
+
+    def test_double_succeed_raises(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            eng.event().fail("not an exception")
+
+    def test_negative_timeout_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.timeout(-1.0)
+
+
+class TestInterrupts:
+    def test_interrupt_delivered_at_wait_point(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield eng.timeout(10.0)
+                log.append("finished")
+            except Interrupt as i:
+                log.append(("interrupted", eng.now, i.cause))
+
+        p = eng.process(victim())
+
+        def interrupter():
+            yield eng.timeout(2.0)
+            p.interrupt("safepoint")
+
+        eng.process(interrupter())
+        eng.run()
+        assert log == [("interrupted", 2.0, "safepoint")]
+
+    def test_interrupted_process_can_continue(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            remaining = 10.0
+            start = eng.now
+            try:
+                yield eng.timeout(remaining)
+            except Interrupt:
+                remaining -= eng.now - start
+                yield eng.timeout(remaining)
+            log.append(eng.now)
+
+        p = eng.process(victim())
+
+        def interrupter():
+            yield eng.timeout(4.0)
+            p.interrupt()
+
+        eng.process(interrupter())
+        eng.run()
+        assert log == [10.0]  # no simulated time lost to the interrupt
+
+    def test_interrupt_finished_process_raises(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(1.0)
+
+        p = eng.process(quick())
+        eng.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_unhandled_interrupt_is_an_error(self):
+        eng = Engine()
+
+        def victim():
+            yield eng.timeout(10.0)
+
+        p = eng.process(victim())
+
+        def interrupter():
+            yield eng.timeout(1.0)
+            p.interrupt()
+
+        eng.process(interrupter())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_interrupt_racing_with_completion_is_dropped(self):
+        eng = Engine()
+
+        def victim():
+            yield eng.timeout(1.0)
+
+        p = eng.process(victim())
+
+        def interrupter():
+            yield eng.timeout(1.0)
+            if p.is_alive:
+                p.interrupt()
+
+        eng.process(interrupter())
+        eng.run()  # must not raise
+        assert not p.is_alive
+
+
+class TestAnyOf:
+    def test_anyof_triggers_on_first(self):
+        eng = Engine()
+        got = []
+
+        def proc():
+            first = yield AnyOf(eng, [eng.timeout(5.0, "slow"), eng.timeout(2.0, "fast")])
+            got.append((eng.now, first.value))
+
+        eng.process(proc())
+        eng.run()
+        assert got == [(2.0, "fast")]
+
+    def test_anyof_empty_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            AnyOf(eng, [])

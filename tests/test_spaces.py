@@ -1,0 +1,67 @@
+"""Tests for heap space accounting."""
+
+import pytest
+
+from repro.errors import ConfigError, HeapError
+from repro.heap.spaces import Space, SpaceKind
+
+
+class TestSpace:
+    def test_new_space_empty(self):
+        s = Space("eden", SpaceKind.EDEN, 100.0)
+        assert s.used == 0.0 and s.free == 100.0
+
+    def test_add_and_remove(self):
+        s = Space("eden", SpaceKind.EDEN, 100.0)
+        s.add(60.0)
+        s.remove(20.0)
+        assert s.used == 40.0
+
+    def test_occupancy(self):
+        s = Space("old", SpaceKind.OLD, 200.0)
+        s.add(50.0)
+        assert s.occupancy == 0.25
+
+    def test_occupancy_of_zero_capacity(self):
+        assert Space("x", SpaceKind.OLD, 0.0).occupancy == 0.0
+
+    def test_overflow_rejected(self):
+        s = Space("eden", SpaceKind.EDEN, 100.0)
+        with pytest.raises(HeapError):
+            s.add(101.0)
+
+    def test_underflow_rejected(self):
+        s = Space("eden", SpaceKind.EDEN, 100.0)
+        with pytest.raises(HeapError):
+            s.remove(1.0)
+
+    def test_can_fit(self):
+        s = Space("eden", SpaceKind.EDEN, 100.0)
+        s.add(90.0)
+        assert s.can_fit(10.0)
+        assert not s.can_fit(11.0)
+
+    def test_reset_empties(self):
+        s = Space("eden", SpaceKind.EDEN, 100.0)
+        s.add(70.0)
+        s.reset()
+        assert s.used == 0.0
+
+    def test_resize_refuses_below_used(self):
+        s = Space("old", SpaceKind.OLD, 100.0)
+        s.add(60.0)
+        with pytest.raises(HeapError):
+            s.resize(50.0)
+
+    def test_resize_grows(self):
+        s = Space("old", SpaceKind.OLD, 100.0)
+        s.resize(200.0)
+        assert s.capacity == 200.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Space("x", SpaceKind.OLD, -1.0)
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ConfigError):
+            Space("x", SpaceKind.OLD, 10.0).add(-1.0)

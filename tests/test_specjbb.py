@@ -1,0 +1,81 @@
+"""Tests for the SPECjbb-style throughput workload."""
+
+import pytest
+
+from repro import JVM, JVMConfig, baseline_config
+from repro.errors import ConfigError
+from repro.units import GB, KB, MB
+from repro.workloads.specjbb import SPECjbbConfig, SPECjbbPoint, SPECjbbWorkload
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = SPECjbbConfig()
+        assert cfg.alloc_bytes_per_tx > 0
+
+    def test_bad_volumes_rejected(self):
+        with pytest.raises(ConfigError):
+            SPECjbbConfig(alloc_bytes_per_tx=0)
+
+    def test_bad_history_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            SPECjbbConfig(history_fraction=1.0)
+
+
+@pytest.fixture(scope="module")
+def ramp_result():
+    jvm = JVM(baseline_config(gc="ParallelOld", seed=1))
+    return jvm.run(SPECjbbWorkload(), measurement_seconds=15.0)
+
+
+class TestRamp:
+    def test_default_ramp_includes_core_counts(self, ramp_result):
+        points = ramp_result.extras["points"]
+        warehouses = [p.warehouses for p in points]
+        assert 48 in warehouses and 96 in warehouses
+        assert warehouses == sorted(warehouses)
+
+    def test_throughput_scales_up_to_cores(self, ramp_result):
+        points = {p.warehouses: p.bops for p in ramp_result.extras["points"]}
+        assert points[2] > 1.5 * points[1]
+        assert points[48] > points[2]
+
+    def test_saturation_beyond_cores(self, ramp_result):
+        points = {p.warehouses: p.bops for p in ramp_result.extras["points"]}
+        # 2x cores is not 2x throughput (cores + GC are the bottleneck).
+        assert points[96] < 1.3 * points[48]
+
+    def test_gc_load_grows_with_warehouses(self, ramp_result):
+        points = ramp_result.extras["points"]
+        assert points[-1].gc_pause_seconds > points[0].gc_pause_seconds
+
+    def test_score_is_mean_of_high_warehouse_points(self, ramp_result):
+        points = {p.warehouses: p.bops for p in ramp_result.extras["points"]}
+        expected = (points[48] + points[96]) / 2.0
+        assert ramp_result.extras["score"] == pytest.approx(expected)
+
+    def test_measurement_windows_respected(self, ramp_result):
+        for p in ramp_result.extras["points"]:
+            assert p.elapsed >= 15.0
+            assert p.transactions > 0
+
+
+class TestCollectorsOnJBB:
+    def _score(self, gc, seed=1):
+        jvm = JVM(baseline_config(gc=gc, seed=seed))
+        result = jvm.run(SPECjbbWorkload(), warehouses=[48],
+                         measurement_seconds=15.0)
+        return result.extras["score"]
+
+    def test_deterministic(self):
+        assert self._score("G1") == self._score("G1")
+
+    def test_parallel_old_beats_serial(self):
+        # Serial young collections serialize the whole machine's GC work.
+        assert self._score("ParallelOld") > self._score("Serial")
+
+    def test_custom_warehouse_list(self):
+        jvm = JVM(baseline_config(seed=2))
+        result = jvm.run(SPECjbbWorkload(), warehouses=[4, 8],
+                         measurement_seconds=10.0)
+        assert [p.warehouses for p in result.extras["points"]] == [4, 8]

@@ -1,0 +1,67 @@
+"""Tests for TLAB sizing and waste accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.heap.tlab import TLABConfig, TLABManager
+from repro.units import GB, KB, MB
+
+
+class TestTLABConfig:
+    def test_defaults_enabled_adaptive(self):
+        cfg = TLABConfig()
+        assert cfg.enabled and cfg.size is None
+
+    def test_fixed_size_validated(self):
+        with pytest.raises(ConfigError):
+            TLABConfig(size=-1.0)
+
+    def test_target_refills_validated(self):
+        with pytest.raises(ConfigError):
+            TLABConfig(target_refills=0)
+
+
+class TestAdaptiveSizing:
+    def test_adaptive_size_scales_with_eden(self):
+        small = TLABManager(TLABConfig(), 64 * MB, 8)
+        big = TLABManager(TLABConfig(), 4 * GB, 8)
+        assert big.tlab_size > small.tlab_size
+
+    def test_adaptive_size_shrinks_with_threads(self):
+        few = TLABManager(TLABConfig(), 1 * GB, 2)
+        many = TLABManager(TLABConfig(), 1 * GB, 48)
+        assert many.tlab_size < few.tlab_size
+
+    def test_adaptive_respects_min(self):
+        mgr = TLABManager(TLABConfig(), 1 * MB, 64)
+        assert mgr.tlab_size == TLABConfig().min_size
+
+    def test_adaptive_respects_max(self):
+        mgr = TLABManager(TLABConfig(), 100 * GB, 1)
+        assert mgr.tlab_size == TLABConfig().max_size
+
+    def test_fixed_size_used_verbatim(self):
+        mgr = TLABManager(TLABConfig(size=256 * KB), 1 * GB, 8)
+        assert mgr.tlab_size == 256 * KB
+
+    def test_disabled_size_zero(self):
+        mgr = TLABManager(TLABConfig(enabled=False), 1 * GB, 8)
+        assert mgr.tlab_size == 0.0
+
+
+class TestWaste:
+    def test_waste_half_buffer_per_thread(self):
+        mgr = TLABManager(TLABConfig(size=1 * MB), 1 * GB, 10)
+        assert mgr.expected_waste == pytest.approx(5 * MB)
+
+    def test_waste_capped_at_ten_percent_of_eden(self):
+        mgr = TLABManager(TLABConfig(size=64 * MB), 100 * MB, 64)
+        assert mgr.expected_waste == pytest.approx(10 * MB)
+
+    def test_disabled_no_waste(self):
+        mgr = TLABManager(TLABConfig(enabled=False), 1 * GB, 10)
+        assert mgr.expected_waste == 0.0
+
+    def test_thread_count_validated(self):
+        with pytest.raises(ConfigError):
+            TLABManager(TLABConfig(), 1 * GB, 0)

@@ -1,0 +1,93 @@
+"""Tests for size/time units and HotSpot size-flag parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    fmt_bytes,
+    fmt_time,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_number(self):
+        assert parse_size(4096) == 4096.0
+
+    def test_float_number(self):
+        assert parse_size(1.5) == 1.5
+
+    def test_kilobytes(self):
+        assert parse_size("512k") == 512 * KB
+
+    def test_megabytes(self):
+        assert parse_size("5600m") == 5600 * MB
+
+    def test_gigabytes(self):
+        assert parse_size("64g") == 64 * GB
+
+    def test_uppercase_suffix(self):
+        assert parse_size("16G") == 16 * GB
+
+    def test_with_b_suffix(self):
+        assert parse_size("2gb") == 2 * GB
+
+    def test_fractional(self):
+        assert parse_size("1.5G") == 1.5 * GB
+
+    def test_bare_bytes_string(self):
+        assert parse_size("4096") == 4096.0
+
+    def test_terabytes(self):
+        assert parse_size("1t") == 1024 * GB
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  8g  ") == 8 * GB
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("")
+
+    def test_none_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(None)
+
+
+class TestFormat:
+    def test_fmt_bytes_gb(self):
+        assert fmt_bytes(5.6 * GB) == "5.6GB"
+
+    def test_fmt_bytes_mb(self):
+        assert fmt_bytes(200 * MB) == "200MB"
+
+    def test_fmt_bytes_small(self):
+        assert fmt_bytes(17) == "17B"
+
+    def test_fmt_bytes_negative(self):
+        assert fmt_bytes(-2 * KB).startswith("-")
+
+    def test_fmt_time_minutes(self):
+        assert fmt_time(240) == "4.0min"
+
+    def test_fmt_time_seconds(self):
+        assert fmt_time(3.5) == "3.50s"
+
+    def test_fmt_time_millis(self):
+        assert fmt_time(0.017) == "17ms"
+
+    def test_fmt_time_micros(self):
+        assert fmt_time(2e-6) == "2us"
+
+    def test_units_are_binary(self):
+        assert KB == 1024 and MB == 1024 ** 2 and GB == 1024 ** 3

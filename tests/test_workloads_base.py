@@ -1,0 +1,106 @@
+"""Tests for the workload base layer: profiles and live sets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.heap.cohort import Cohort
+from repro.units import MB
+from repro.workloads.base import AllocationProfile, LiveSet
+
+
+class TestAllocationProfile:
+    def test_fractions_must_not_exceed_one(self):
+        with pytest.raises(ConfigError):
+            AllocationProfile(
+                alloc_bytes_per_iteration=1.0,
+                short_fraction=0.8, medium_fraction=0.3, immortal_fraction=0.1,
+            )
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ConfigError):
+            AllocationProfile(alloc_bytes_per_iteration=-1.0)
+
+    def test_churn_fraction_bounded(self):
+        with pytest.raises(ConfigError):
+            AllocationProfile(alloc_bytes_per_iteration=1.0, live_churn_fraction=1.5)
+
+    def test_lifetime_mixture_built(self):
+        p = AllocationProfile(
+            alloc_bytes_per_iteration=1.0,
+            short_fraction=0.8, medium_fraction=0.15, immortal_fraction=0.05,
+        )
+        dist = p.lifetime()
+        # long-run survival equals the immortal fraction
+        assert dist.survival(1e9) == pytest.approx(0.05, abs=1e-3)
+
+    def test_lifetime_without_medium(self):
+        p = AllocationProfile(
+            alloc_bytes_per_iteration=1.0,
+            short_fraction=1.0, medium_fraction=0.0, immortal_fraction=0.0,
+        )
+        assert p.lifetime().survival(100.0) < 1e-6
+
+
+class FakeCtx:
+    """Minimal MutatorContext stand-in for LiveSet tests."""
+
+    def allocate(self, n_bytes, dist, n_objects=1.0, pinned=False, label="",
+                 window=0.0):
+        return Cohort(0.0, 0.0, n_bytes, dist, n_objects=n_objects,
+                      pinned=pinned, label=label)
+        yield  # pragma: no cover
+
+
+def drain(gen):
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+class TestLiveSet:
+    def test_allocates_in_chunks(self):
+        ls = LiveSet(64 * MB, chunk_bytes=16 * MB)
+        drain(ls.allocate_body(FakeCtx(), 1024.0))
+        assert len(ls.chunks) == 4
+        assert ls.resident_bytes == pytest.approx(64 * MB)
+
+    def test_default_chunking(self):
+        ls = LiveSet(160 * MB)
+        drain(ls.allocate_body(FakeCtx(), 1024.0))
+        assert len(ls.chunks) == 16
+
+    def test_churn_replaces_fraction(self):
+        ls = LiveSet(64 * MB, chunk_bytes=16 * MB)
+        drain(ls.allocate_body(FakeCtx(), 1024.0))
+        before = set(c.cid for c in ls.chunks)
+        rng = np.random.default_rng(0)
+        drain(ls.churn_body(FakeCtx(), 0.5, 1024.0, rng))
+        after = set(c.cid for c in ls.chunks)
+        assert len(after) == len(before)
+        assert len(before - after) == 2  # half of 4 chunks replaced
+
+    def test_churn_releases_old_chunks(self):
+        ls = LiveSet(32 * MB, chunk_bytes=16 * MB)
+        drain(ls.allocate_body(FakeCtx(), 1024.0))
+        originals = list(ls.chunks)
+        rng = np.random.default_rng(0)
+        drain(ls.churn_body(FakeCtx(), 1.0, 1024.0, rng))
+        assert all(c.released for c in originals)
+
+    def test_zero_churn_noop(self):
+        ls = LiveSet(32 * MB, chunk_bytes=16 * MB)
+        drain(ls.allocate_body(FakeCtx(), 1024.0))
+        drain(ls.churn_body(FakeCtx(), 0.0, 1024.0, np.random.default_rng(0)))
+        assert not any(c.released for c in ls.chunks)
+
+    def test_empty_live_set(self):
+        ls = LiveSet(0.0)
+        drain(ls.allocate_body(FakeCtx(), 1024.0))
+        assert ls.chunks == [] and ls.resident_bytes == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LiveSet(-1.0)

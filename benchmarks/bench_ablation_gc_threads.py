@@ -7,12 +7,11 @@ threads: speedup saturates around a handful of threads and decays once
 the pool spans NUMA nodes.
 """
 
-import numpy as np
-
 from repro.gc import create_collector
 from repro.analysis.report import render_table
 from repro.heap.heap import GenerationalHeap, HeapConfig
 from repro.machine.costs import CostModel
+from repro.seeding import rng_for
 from repro.units import GB, MB
 
 from common import emit, once, quick_or_full
@@ -27,7 +26,7 @@ def young_pause(n_threads: int) -> float:
     )
     collector = create_collector(
         "ParallelOld", heap, CostModel(),
-        gc_threads=n_threads, rng=np.random.default_rng(0),
+        gc_threads=n_threads, rng=rng_for("ablation-gc-threads", n_threads),
     )
     collector.noise = 0.0
     heap.allocate(0.0, 400 * MB, None, pinned=True)  # fixed survivor volume

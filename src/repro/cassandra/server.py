@@ -178,7 +178,9 @@ class CassandraServer(Workload):
                     window=quantum, label="request-garbage",
                 )
                 # Updates dirty old-generation data (card table).
-                jvm.heap.dirty_cards(ops * update_fraction * cfg.record_heap_bytes)
+                yield from jvm.world.dirty_cards(
+                    ops * update_fraction * cfg.record_heap_bytes
+                )
                 # Flush when over the cap (never, in the stress config).
                 if self.memtable.needs_flush:
                     freed = self.memtable.flush()

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Three commands mirror the paper's workflow:
+Five commands mirror the paper's workflow, one keeps it honest:
 
 * ``repro-dacapo``    — run a DaCapo benchmark under a chosen GC and print
   the per-iteration times plus the GC log;
@@ -9,7 +9,13 @@ Three commands mirror the paper's workflow:
 * ``repro-report``    — parse a GC log file (HotSpot-style text, as
   emitted by ``--gc-log``) and print pause statistics;
 * ``repro-specjbb``   — run the SPECjbb-style warehouse ramp;
-* ``repro-cluster``   — run the multi-node failure-detector study.
+* ``repro-cluster``   — run the multi-node failure-detector study;
+* ``repro-lint``      — static determinism/invariant analysis over the
+  source tree (see :mod:`repro.lint`).
+
+``repro-dacapo --audit`` additionally attaches the runtime
+:class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
+``-XX:+VerifyBeforeGC``/``-XX:+VerifyAfterGC``.
 """
 
 from __future__ import annotations
@@ -62,10 +68,19 @@ def dacapo_main(argv: Optional[List[str]] = None) -> int:
                         help="disable the forced full GC between iterations")
     parser.add_argument("-t", "--threads", type=int, default=None)
     parser.add_argument("--gc-log", default=None, help="write a GC log file")
+    parser.add_argument("--audit", action="store_true",
+                        help="attach the runtime InvariantAuditor "
+                             "(VerifyBeforeGC/VerifyAfterGC analogue)")
     _jvm_args(parser)
     args = parser.parse_args(argv)
 
     jvm = JVM(_build_config(args))
+    auditor = None
+    if args.audit:
+        from .lint import InvariantAuditor
+
+        auditor = InvariantAuditor()
+        auditor.attach(jvm)
     result = jvm.run(
         get_benchmark(args.benchmark),
         iterations=args.iterations,
@@ -79,6 +94,12 @@ def dacapo_main(argv: Optional[List[str]] = None) -> int:
         with open(args.gc_log, "w") as fh:
             fh.write(format_gc_log(result.gc_log, jvm.config.heap_bytes))
         print(f"GC log written to {args.gc_log}")
+    if auditor is not None:
+        print(auditor.summary())
+        for violation in auditor.violations:
+            print(violation.format())
+        if not auditor.ok:
+            return 1
     return 1 if result.crashed else 0
 
 
@@ -216,6 +237,13 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         title="Cluster failure-detector study",
     ))
     return 0
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-lint``: static determinism analysis."""
+    from .lint.cli import main
+
+    return main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..heap.heap import CollectionVolumes, GenerationalHeap
 from ..machine.costs import CostModel
+from ..seeding import rng_for
 from .stats import ConcurrentRecord
 
 
@@ -125,7 +126,10 @@ class Collector(ABC):
         self.gc_threads = int(gc_threads) if gc_threads is not None else default
         if self.gc_threads < 1:
             raise ConfigError("gc_threads must be >= 1")
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # The JVM injects a per-run stream; when a collector is built
+        # directly (benchmarks, tests) derive one from the collector name
+        # so different collectors never share a jitter stream.
+        self.rng = rng if rng is not None else rng_for(self.name, "collector-default")
         self.noise = float(noise)
         self._tenuring = self.tenuring_threshold
 

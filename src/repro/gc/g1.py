@@ -218,9 +218,12 @@ class G1GC(Collector):
         for _score, c, live, garbage in scored:
             if copied + live > budget:
                 break
-            c.collect(now)
+            # Use the bytes the cohort actually dropped, not the estimate:
+            # collect() applies the tail cutoff and can free slightly more
+            # than `garbage`, and old.used must track cohort residents
+            # exactly or the drift surfaces at the next full GC.
+            freed += c.collect(now)
             copied += live
-            freed += garbage
         if freed > 0:
             self.heap.old.remove(min(freed, self.heap.old.used))
         vol.old_freed += freed

@@ -32,6 +32,12 @@ from .object_model import ObjectGraph
 from .spaces import Space, SpaceKind
 from .tlab import TLABConfig, TLABManager
 
+#: Absolute slack (bytes) tolerated by the accounting invariants: float
+#: summation over many cohorts drifts by well under a byte, so one
+#: milli-byte of slack separates rounding noise from real leaks. Applied
+#: exactly once per comparison.
+_EPSILON = 1e-3
+
 
 @dataclass(frozen=True)
 class HeapConfig:
@@ -524,15 +530,37 @@ class GenerationalHeap:
         self.tlabs.eden_capacity = eden_cap
 
     def check_invariants(self, now: float) -> None:
-        """Raise on accounting drift (used by tests and debug runs)."""
+        """Raise on accounting drift (used by tests, debug runs and the
+        runtime :class:`~repro.lint.audit.InvariantAuditor`).
+
+        Every space's cohort-resident total must fit inside its space
+        accounting, with the shared :data:`_EPSILON` slack applied once
+        per comparison (the old-gen check used to apply it on both sides,
+        doubling the tolerance relative to eden's).
+        """
         eden_resident = sum(c.resident for c in self.eden_cohorts)
-        if eden_resident - 1e-3 > self.eden.used:
+        if eden_resident > self.eden.used + _EPSILON:
             raise HeapError(
                 f"eden cohorts {eden_resident} exceed eden.used {self.eden.used}"
             )
+        surv_resident = sum(c.resident for c in self.survivor_cohorts)
+        if surv_resident > self.survivor.used + _EPSILON:
+            raise HeapError(
+                f"survivor cohorts {surv_resident} exceed "
+                f"survivor.used {self.survivor.used}"
+            )
         old_resident = sum(c.resident for c in self.old_cohorts) + self.graph.old_bytes
-        if old_resident - 1e-3 > self.old.used + 1e-3:
+        if old_resident > self.old.used + _EPSILON:
             raise HeapError(
                 f"old cohorts {old_resident} exceed old.used {self.old.used}"
+            )
+        if not (0.0 <= self.fragmentation <= self.fragmentation_cap + _EPSILON):
+            raise HeapError(
+                f"fragmentation {self.fragmentation} outside "
+                f"[0, {self.fragmentation_cap}]"
+            )
+        if self.dirty_card_bytes < -_EPSILON:
+            raise HeapError(
+                f"negative dirty_card_bytes {self.dirty_card_bytes}"
             )
         self.graph.check_invariants()

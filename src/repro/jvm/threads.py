@@ -151,6 +151,19 @@ class World:
         yield self.engine.timeout(delay)
         yield from self.gc_cycle(None, fn, must_run=True)
 
+    def dirty_cards(self, n_bytes: float):
+        """Generator: record old-generation mutation (card dirtying).
+
+        Mutators cannot touch the heap while the world is stopped, so this
+        parks through any in-flight pause first — calling
+        ``heap.dirty_cards`` directly from workload code would mutate the
+        old generation mid-pause (the
+        :class:`~repro.lint.audit.InvariantAuditor` flags exactly that).
+        """
+        if self.stw or self.gc_in_progress:
+            yield from self._park(None)
+        self.heap.dirty_cards(n_bytes)
+
     def _park(self, ctx: Optional["MutatorContext"]):
         """Wait until the current STW/GC episode is over."""
         if ctx is not None:

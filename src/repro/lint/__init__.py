@@ -1,0 +1,47 @@
+"""repro.lint — correctness tooling for the simulator.
+
+Two halves, one discipline:
+
+* **simlint** (static): an AST-based analysis pass with pluggable rules
+  (SL001-SL006) enforcing the determinism and accounting properties the
+  reproduction's figures depend on. Run it with ``repro-lint`` or
+  ``python -m repro.lint``. See :mod:`repro.lint.rules` for the rule
+  set, :mod:`repro.lint.suppress` for ``# simlint: disable=...`` and
+  :mod:`repro.lint.baseline` for the committed-baseline workflow.
+* **InvariantAuditor** (dynamic): runtime verification hooks for JVM
+  debug runs — the simulator's ``-XX:+VerifyBeforeGC``/``AfterGC``. See
+  :mod:`repro.lint.audit`.
+"""
+
+from .audit import (
+    AuditError,
+    AuditViolation,
+    InvariantAuditor,
+    PAUSE_RECORD_SCHEMA,
+    validate_pause_record,
+)
+from .baseline import DEFAULT_BASELINE, finding_key, load_baseline, write_baseline
+from .core import FileContext, Finding, LintResult, Rule, lint_file, run_lint
+from .rules import RULES_BY_ID, default_rules
+from .suppress import SuppressionTable
+
+__all__ = [
+    "AuditError",
+    "AuditViolation",
+    "DEFAULT_BASELINE",
+    "FileContext",
+    "Finding",
+    "InvariantAuditor",
+    "LintResult",
+    "PAUSE_RECORD_SCHEMA",
+    "Rule",
+    "RULES_BY_ID",
+    "SuppressionTable",
+    "default_rules",
+    "finding_key",
+    "lint_file",
+    "load_baseline",
+    "run_lint",
+    "validate_pause_record",
+    "write_baseline",
+]

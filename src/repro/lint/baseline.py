@@ -1,0 +1,61 @@
+"""Baseline file handling for simlint.
+
+A baseline records *accepted* findings so a new rule can land without
+first fixing (or suppressing) every historical violation: findings whose
+key appears in the baseline are reported separately and do not fail the
+run. The key is content-based — ``rule-id`` + path + a hash of the
+offending source line — so it survives unrelated edits that renumber
+lines, and goes stale (correctly) when the offending line itself changes.
+
+Format: one entry per line, ``rule-id:path:content-hash``; ``#`` comments
+and blank lines are ignored. The file is committed; regenerate with
+``repro-lint --write-baseline`` and review the diff like any other code
+change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Iterable, List, Set
+
+from .core import Finding
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = ".simlint-baseline"
+
+_HEADER = (
+    "# simlint baseline — accepted findings, one `rule:path:hash` per line.\n"
+    "# Regenerate with `repro-lint --write-baseline`; keep this file under\n"
+    "# review: every entry is a debt marker, not a licence.\n"
+)
+
+
+def finding_key(finding: Finding) -> str:
+    """Stable content-based key for one finding."""
+    digest = hashlib.sha256(
+        f"{finding.rule_id}|{finding.source_line}".encode("utf-8")
+    ).hexdigest()[:16]
+    path = pathlib.PurePath(finding.path).as_posix()
+    return f"{finding.rule_id}:{path}:{digest}"
+
+
+def load_baseline(path) -> Set[str]:
+    """Read baseline keys from *path* (missing file -> empty set)."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return set()
+    keys: Set[str] = set()
+    for line in p.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> List[str]:
+    """Write a baseline accepting *findings*; returns the sorted keys."""
+    keys = sorted({finding_key(f) for f in findings})
+    body = _HEADER + "".join(f"{k}\n" for k in keys)
+    pathlib.Path(path).write_text(body, encoding="utf-8")
+    return keys

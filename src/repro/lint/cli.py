@@ -1,0 +1,104 @@
+"""The ``repro-lint`` command-line frontend.
+
+Usage::
+
+    repro-lint src benchmarks examples           # lint, exit 1 on findings
+    repro-lint --list-rules                      # describe the rule set
+    repro-lint --select SL001,SL002 src          # subset of rules
+    repro-lint --write-baseline src              # accept current findings
+    repro-lint --statistics src                  # per-rule counts
+
+Exit codes: 0 clean (baselined/suppressed findings do not fail the run),
+1 findings reported, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+from .core import run_lint
+from .rules import default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-lint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & invariant static analysis for the repro simulator.",
+    )
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to lint (default: src benchmarks examples)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept every current finding into the baseline and exit 0")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule set and exit")
+    parser.add_argument("--statistics", action="store_true",
+                        help="print per-rule finding counts")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line (findings still print)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = wanted.difference(r.rule_id for r in rules)
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.rule_id in wanted]
+
+    paths = args.paths or ["src", "benchmarks", "examples"]
+    baseline = set() if (args.no_baseline or args.write_baseline) else load_baseline(args.baseline)
+    result = run_lint(paths, rules, baseline=baseline)
+
+    if result.files_checked == 0:
+        print(f"repro-lint: no Python files under: {' '.join(paths)}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        keys = write_baseline(args.baseline, result.findings)
+        print(f"wrote {len(keys)} baseline entries to {args.baseline}")
+        return 0
+
+    for finding in result.findings:
+        print(finding.format())
+
+    if args.statistics and result.findings:
+        print()
+        for rule_id, count in sorted(result.by_rule().items()):
+            print(f"{rule_id}: {count}")
+
+    if not args.quiet:
+        extras = []
+        if result.suppressed:
+            extras.append(f"{len(result.suppressed)} suppressed")
+        if result.baselined:
+            extras.append(f"{len(result.baselined)} baselined")
+        detail = f" ({', '.join(extras)})" if extras else ""
+        verdict = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+        print(f"repro-lint: {result.files_checked} files, {verdict}{detail}")
+
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""simlint core: findings, rules, file contexts and the lint driver.
+
+The simulator's claims — reproducible runs, conserved bytes, honest pause
+accounting — are *properties of the code*, not of any one test run. simlint
+walks the source tree with Python's ``ast`` and enforces the determinism
+and accounting disciplines statically, the way HotSpot's
+``-XX:+VerifyBeforeGC``/``-XX:+VerifyAfterGC`` enforce heap well-formedness
+at runtime (see :mod:`repro.lint.audit` for that half).
+
+A :class:`Rule` visits one parsed file (:class:`FileContext`) and yields
+:class:`Finding` objects. The driver applies per-line suppression comments
+(:mod:`repro.lint.suppress`) and an optional committed baseline
+(:mod:`repro.lint.baseline`) before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .suppress import SuppressionTable
+
+#: Directories never linted (caches, benchmark artefacts, VCS internals).
+SKIP_DIRS = {"__pycache__", ".git", ".hg", "out", ".eggs", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str          #: path as given on the command line (relative ok)
+    line: int          #: 1-based line number
+    rule_id: str       #: e.g. ``SL001``
+    message: str       #: human-readable explanation
+    source_line: str = ""  #: stripped source text (baseline matching)
+
+    def format(self) -> str:
+        """Render as the canonical ``file:line rule-id message`` line."""
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set :attr:`rule_id`/:attr:`title` and implement
+    :meth:`check`; :meth:`applies` restricts a rule to a path subset
+    (e.g. SL003 only audits the deterministic core under ``sim/``,
+    ``gc/`` and ``jvm/``).
+    """
+
+    rule_id: str = "SL000"
+    title: str = "abstract rule"
+
+    def applies(self, ctx: "FileContext") -> bool:
+        """Whether this rule runs on *ctx* at all (default: every file)."""
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at *node*."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=ctx.path,
+            line=line,
+            rule_id=self.rule_id,
+            message=message,
+            source_line=ctx.line(line),
+        )
+
+
+class FileContext:
+    """One parsed source file, shared by every rule."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = SuppressionTable.from_source(source)
+        #: Normalized posix path for rule scoping decisions.
+        self.posix = pathlib.PurePath(path).as_posix()
+
+    def line(self, lineno: int) -> str:
+        """Stripped source text of 1-based *lineno* ('' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_subdirs(self, *names: str) -> bool:
+        """True when the file lives under any of the named directories."""
+        parts = set(pathlib.PurePath(self.posix).parts)
+        return bool(parts.intersection(names))
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a path set."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by ``# simlint: disable=`` comments.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Findings matched (and hidden) by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no *reportable* findings remain."""
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        """Reportable finding counts keyed by rule id."""
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[pathlib.Path]:
+    """Expand files/directories into the sorted set of ``*.py`` files."""
+    seen = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            seen.append(p)
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if not SKIP_DIRS.intersection(sub.parts):
+                    seen.append(sub)
+    return iter(seen)
+
+
+def lint_file(
+    path: pathlib.Path,
+    rules: Sequence[Rule],
+    *,
+    display_path: Optional[str] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns ``(reportable, suppressed)`` findings.
+
+    A file that fails to parse produces a single ``SL000`` syntax-error
+    finding (never an exception): broken source must fail the lint pass,
+    not crash it.
+    """
+    shown = display_path or str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        ctx = FileContext(shown, source)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        lineno = getattr(exc, "lineno", 1) or 1
+        return (
+            [Finding(shown, lineno, "SL000", f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}")],
+            [],
+        )
+    reportable: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
+                suppressed.append(finding)
+            else:
+                reportable.append(finding)
+    reportable.sort(key=lambda f: (f.line, f.rule_id))
+    return reportable, suppressed
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    baseline: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every Python file under *paths* with *rules*.
+
+    ``baseline`` is an iterable of baseline keys (see
+    :mod:`repro.lint.baseline`); matching findings are moved to
+    ``result.baselined`` instead of failing the run.
+    """
+    from .baseline import finding_key
+    from .rules import default_rules
+
+    active = list(rules) if rules is not None else default_rules()
+    known = set(baseline or ())
+    result = LintResult()
+    for path in iter_python_files(paths):
+        result.files_checked += 1
+        reportable, suppressed = lint_file(path, active)
+        result.suppressed.extend(suppressed)
+        for f in reportable:
+            if finding_key(f) in known:
+                result.baselined.append(f)
+            else:
+                result.findings.append(f)
+    return result

@@ -1,0 +1,475 @@
+"""The simlint rule set (SL001-SL006).
+
+Every rule guards one of the properties the reproduction's figures rest
+on. The paper's contribution is measurement; a single unseeded RNG or
+wall-clock read silently invalidates every number downstream, so these
+are enforced mechanically rather than by review:
+
+* **SL001** — no wall-clock time or OS entropy in simulation code;
+* **SL002** — RNGs flow through :func:`repro.seeding.rng_for` (no ad-hoc
+  ``np.random.default_rng`` with literal or missing seeds);
+* **SL003** — no unordered-container iteration in the deterministic core
+  (``sim/``, ``gc/``, ``jvm/``) without ``sorted()``;
+* **SL004** — no ``==``/``!=`` on simulated-time floats;
+* **SL005** — HotSpot flag-string literals must dry-parse via
+  :meth:`repro.jvm.flags.JVMConfig.from_flags`;
+* **SL006** — :class:`~repro.gc.base.Collector` subclasses overriding the
+  pause-producing entry points keep the ``STWPause`` accounting protocol
+  (checked over the intra-class call graph).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .core import FileContext, Finding, Rule
+
+# ----------------------------------------------------------------------
+# Import-alias resolution shared by the name-based rules
+# ----------------------------------------------------------------------
+
+
+def build_alias_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the canonical dotted names they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from datetime import datetime as dt`` -> ``{"dt": "datetime.datetime"}``.
+    Star imports and relative imports are ignored (the rules below only
+    care about well-known stdlib/numpy entry points).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".", 1)[0]] = (
+                    a.name if a.asname else a.name.split(".", 1)[0]
+                )
+                if a.asname:
+                    aliases[a.asname] = a.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_name(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of a call target, import aliases expanded."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    expanded = aliases.get(head)
+    if expanded:
+        return f"{expanded}.{rest}" if rest else expanded
+    return name
+
+
+# ----------------------------------------------------------------------
+# SL001 — wall-clock / OS entropy
+# ----------------------------------------------------------------------
+
+
+class WallClockRule(Rule):
+    """SL001: simulation code must not read wall-clock time or OS entropy.
+
+    The engine's docstring promises "Nothing here depends on wall-clock
+    time"; this rule makes the promise load-bearing for the whole tree.
+    """
+
+    rule_id = "SL001"
+    title = "no wall-clock or OS entropy in simulation paths"
+
+    #: Exact forbidden call targets.
+    FORBIDDEN = {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.sleep",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "os.urandom", "os.getrandom",
+        "uuid.uuid1", "uuid.uuid4",
+    }
+    #: Forbidden module prefixes: the stdlib global RNG and ``secrets``
+    #: are OS-entropy-seeded; numpy's *legacy global* RNG is hidden
+    #: process state (``default_rng`` is SL002's business).
+    FORBIDDEN_PREFIXES = ("random.", "secrets.", "numpy.random.")
+    #: numpy.random names that are fine: the Generator API itself.
+    ALLOWED = {
+        "numpy.random.default_rng", "numpy.random.Generator",
+        "numpy.random.SeedSequence", "numpy.random.PCG64",
+        "numpy.random.Philox", "numpy.random.BitGenerator",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = build_alias_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name is None or name in self.ALLOWED:
+                continue
+            if name in self.FORBIDDEN:
+                yield self.finding(
+                    ctx, node,
+                    f"call to `{name}` — simulation code must not read "
+                    "wall-clock time or OS entropy (runs must be "
+                    "bit-for-bit reproducible)",
+                )
+            elif name.startswith(self.FORBIDDEN_PREFIXES):
+                yield self.finding(
+                    ctx, node,
+                    f"call to `{name}` uses hidden global RNG state — "
+                    "derive a Generator via repro.seeding.rng_for instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL002 — ad-hoc RNG construction
+# ----------------------------------------------------------------------
+
+
+class SeededRngRule(Rule):
+    """SL002: ``np.random.default_rng`` with a literal/missing seed is
+    only allowed inside :mod:`repro.seeding`.
+
+    Literal seeds correlate streams across components (every module
+    seeding ``default_rng(0)`` draws the *same* jitter); missing seeds
+    pull OS entropy. Both must flow through ``seeding.rng_for`` or
+    explicit Generator injection.
+    """
+
+    rule_id = "SL002"
+    title = "RNGs must flow through repro.seeding"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return not ctx.posix.endswith("repro/seeding.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = build_alias_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if resolve_call_name(node, aliases) != "numpy.random.default_rng":
+                continue
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "unseeded `np.random.default_rng()` draws OS entropy — "
+                    "use repro.seeding.rng_for(...) or inject a Generator",
+                )
+            elif node.args and isinstance(node.args[0], ast.Constant):
+                yield self.finding(
+                    ctx, node,
+                    f"`np.random.default_rng({node.args[0].value!r})` with a "
+                    "literal seed correlates streams across components — "
+                    "use repro.seeding.rng_for(...) outside repro.seeding",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL003 — unordered iteration in the deterministic core
+# ----------------------------------------------------------------------
+
+
+class OrderedIterationRule(Rule):
+    """SL003: no ``sorted()``-less iteration over unordered containers in
+    ``sim/``, ``gc/`` and ``jvm/``.
+
+    Set iteration order varies with ``PYTHONHASHSEED``; feeding it into
+    event scheduling or float aggregation makes two "identical" runs
+    diverge. (``dict`` preserves insertion order, but ``.keys()`` of a
+    dict *built from* a set inherits the hazard — the rule flags the
+    iteration site so the author proves the order, or sorts.)
+    """
+
+    rule_id = "SL003"
+    title = "no unordered iteration feeding scheduling/aggregation"
+
+    #: Call names whose return value is an unordered container.
+    UNORDERED_CALLS = {"set", "frozenset"}
+    UNORDERED_METHODS = {"keys", "intersection", "union", "difference",
+                         "symmetric_difference"}
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_subdirs("sim", "gc", "jvm")
+
+    def _unordered(self, expr: ast.AST) -> Optional[str]:
+        """Describe *expr* when it is an unordered iterable, else None."""
+        if isinstance(expr, ast.Set):
+            return "set literal"
+        if isinstance(expr, ast.SetComp):
+            return "set comprehension"
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name in self.UNORDERED_CALLS:
+                return f"{name}() result"
+            if (isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in self.UNORDERED_METHODS):
+                return f".{expr.func.attr}() result"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        sites: List[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sites.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                sites.extend(gen.iter for gen in node.generators)
+        for it in sites:
+            desc = self._unordered(it)
+            if desc:
+                yield self.finding(
+                    ctx, it,
+                    f"iteration over {desc} has hash-seed-dependent order — "
+                    "wrap in sorted(...) or use an ordered container",
+                )
+
+
+# ----------------------------------------------------------------------
+# SL004 — float equality on simulated time
+# ----------------------------------------------------------------------
+
+
+class SimTimeEqualityRule(Rule):
+    """SL004: no ``==``/``!=`` on simulated-time floats.
+
+    Simulated time is a float accumulated through additions; exact
+    equality silently stops matching after a few hundred events. Compare
+    with tolerances (``abs(a - b) < eps``) or ordering.
+    """
+
+    rule_id = "SL004"
+    title = "no ==/!= on simulated-time floats"
+
+    #: A comparand "is simulated time" when its trailing name matches.
+    TIME_TAILS = {"now", "sim_time"}
+    TIME_SUFFIXES = ("_time", "_at", "_deadline")
+
+    def _is_time_expr(self, expr: ast.AST) -> bool:
+        name = dotted_name(expr)
+        if name is None:
+            if isinstance(expr, ast.Call):  # engine.peek() etc.
+                inner = dotted_name(expr.func)
+                return bool(inner) and inner.rsplit(".", 1)[-1] == "peek"
+            return False
+        tail = name.rsplit(".", 1)[-1]
+        return tail in self.TIME_TAILS or tail.endswith(self.TIME_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `x == None` / `x == "str"` are not float comparisons.
+                for a, b in ((left, right), (right, left)):
+                    other_const = isinstance(b, ast.Constant) and not isinstance(
+                        b.value, (int, float)
+                    )
+                    if self._is_time_expr(a) and not other_const:
+                        yield self.finding(
+                            ctx, node,
+                            "==/!= on simulated-time floats drifts after "
+                            "repeated addition — compare with a tolerance "
+                            "or ordering",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
+# SL005 — HotSpot flag literals must dry-parse
+# ----------------------------------------------------------------------
+
+
+class FlagLiteralRule(Rule):
+    """SL005: HotSpot flag-string literals must parse via
+    ``JVMConfig.from_flags``.
+
+    A typo'd ``-XX:`` string in a benchmark silently runs the *default*
+    collector and measures the wrong thing; dry-parsing at lint time
+    catches it before any simulation runs.
+    """
+
+    rule_id = "SL005"
+    title = "HotSpot flag literals must dry-parse"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.List, ast.Tuple)) or not node.elts:
+                continue
+            values: List[str] = []
+            for el in node.elts:
+                if isinstance(el, ast.Constant) and isinstance(el.value, str):
+                    values.append(el.value)
+                else:
+                    values = []
+                    break
+            if not values or not any(v.startswith("-X") for v in values):
+                continue
+            error = self._dry_parse(values)
+            if error:
+                yield self.finding(
+                    ctx, node,
+                    f"HotSpot flag literal does not parse: {error}",
+                )
+
+    @staticmethod
+    def _dry_parse(flags: Sequence[str]) -> Optional[str]:
+        # Imported lazily: the lint frontend must work even when numpy
+        # is unavailable for every rule that does not need it.
+        from ..errors import ConfigError
+        from ..jvm.flags import JVMConfig
+
+        try:
+            JVMConfig.from_flags(list(flags))
+        except (ConfigError, ValueError) as exc:
+            # ValueError: malformed ints in `-XX:...=<n>` style flags.
+            return str(exc)
+        return None
+
+
+# ----------------------------------------------------------------------
+# SL006 — STWPause accounting protocol
+# ----------------------------------------------------------------------
+
+
+class PauseProtocolRule(Rule):
+    """SL006: Collector subclasses overriding the pause-producing entry
+    points must keep the ``STWPause`` accounting protocol.
+
+    Every stop-the-world pause the JVM executes is priced from an
+    :class:`~repro.gc.base.STWPause`; an override that returns pauses
+    without constructing one (or delegating to the base mechanics that
+    do) would let GC work go missing from the log — the simulator's
+    equivalent of a collector that skips its verification pass. The
+    check walks the *intra-class call graph*: the override must reach an
+    ``STWPause(...)`` construction or a base pause-producing method.
+    """
+
+    rule_id = "SL006"
+    title = "Collector overrides keep STWPause accounting"
+
+    #: Entry points whose overrides are audited.
+    ENTRY_POINTS = {"_minor", "_full", "allocation_failure", "explicit_gc",
+                    "_promotion_failure_full"}
+    #: Calls that are known to produce/track pauses (base mechanics).
+    TERMINALS = {"_minor", "_full", "_promotion_failure_full",
+                 "allocation_failure", "explicit_gc"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        collector_classes = self._collector_classes(ctx.tree)
+        for cls in collector_classes:
+            methods = {
+                n.name: n for n in cls.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for name in sorted(self.ENTRY_POINTS.intersection(methods)):
+                node = methods[name]
+                if not self._reaches_pause(node, methods, entry=name):
+                    yield self.finding(
+                        ctx, node,
+                        f"`{cls.name}.{name}` overrides a pause-producing "
+                        "entry point but never constructs an STWPause nor "
+                        "delegates to the base accounting (_minor/_full) — "
+                        "GC work would vanish from the log",
+                    )
+
+    # -- helpers -------------------------------------------------------
+
+    def _collector_classes(self, tree: ast.AST) -> List[ast.ClassDef]:
+        """Classes that (heuristically) extend the Collector protocol.
+
+        Direct bases named ``Collector`` count, as does any class whose
+        base is itself a recognised collector in the same file (so
+        ``class Foo(SerialGC)`` is audited too).
+        """
+        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        names: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for cls in classes:
+                if cls.name in names:
+                    continue
+                for base in cls.bases:
+                    b = dotted_name(base)
+                    b_tail = b.rsplit(".", 1)[-1] if b else ""
+                    if b_tail == "Collector" or b_tail in names:
+                        names.add(cls.name)
+                        changed = True
+                        break
+        return [c for c in classes if c.name in names]
+
+    def _reaches_pause(
+        self,
+        fn: ast.AST,
+        methods: Dict[str, ast.AST],
+        *,
+        entry: str,
+    ) -> bool:
+        """Can *fn* reach STWPause construction via intra-class calls?"""
+        seen: Set[str] = set()
+
+        def visit(node: ast.AST) -> bool:
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = dotted_name(sub.func)
+                if name is None:
+                    continue
+                tail = name.rsplit(".", 1)[-1]
+                if tail == "STWPause":
+                    return True
+                head = name.split(".", 1)[0]
+                if head in ("self", "super") or name == tail:
+                    # A call into the base implementation of a terminal
+                    # (not the override itself recursing) keeps accounting.
+                    if tail in self.TERMINALS and (
+                        head == "super" or tail != entry
+                    ) and tail not in methods:
+                        return True
+                    if head == "super" and tail in self.TERMINALS:
+                        return True
+                    if tail in methods and tail not in seen:
+                        seen.add(tail)
+                        if visit(methods[tail]):
+                            return True
+            return False
+
+        return visit(fn)
+
+
+# ----------------------------------------------------------------------
+
+
+def default_rules() -> List[Rule]:
+    """The standard simlint rule set, in rule-id order."""
+    return [
+        WallClockRule(),
+        SeededRngRule(),
+        OrderedIterationRule(),
+        SimTimeEqualityRule(),
+        FlagLiteralRule(),
+        PauseProtocolRule(),
+    ]
+
+
+RULES_BY_ID = {rule.rule_id: type(rule) for rule in default_rules()}

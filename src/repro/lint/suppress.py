@@ -1,0 +1,68 @@
+"""Suppression-comment parsing for simlint.
+
+Two forms, modelled on pylint/ruff conventions:
+
+* line suppression — append to the offending line::
+
+      t = time.time()  # simlint: disable=SL001 -- calibration harness only
+
+* file suppression — anywhere in the file, on a line of its own::
+
+      # simlint: disable-file=SL003
+
+Multiple rule ids are comma-separated (``disable=SL001,SL004``);
+``disable=all`` silences every rule. The optional `` -- reason`` suffix
+documents *why* the suppression is justified; the CLI counts suppressions
+so unexplained ones show up in review.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<reason>.*))?\s*$"
+)
+
+
+class SuppressionTable:
+    """Per-file suppression state parsed from comments."""
+
+    def __init__(self) -> None:
+        #: line number -> set of rule ids (or {"all"}).
+        self.by_line: Dict[int, Set[str]] = {}
+        #: rule ids suppressed for the whole file (or {"all"}).
+        self.file_wide: Set[str] = set()
+        #: (line, rule ids, reason) of every directive, for reporting.
+        self.directives: List[tuple] = []
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionTable":
+        """Parse every ``# simlint:`` directive in *source*."""
+        table = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _DIRECTIVE_RE.search(line)
+            if not m:
+                continue
+            rules = {
+                r.strip().upper() if r.strip().lower() != "all" else "all"
+                for r in m.group("rules").split(",")
+                if r.strip()
+            }
+            reason = (m.group("reason") or "").strip()
+            table.directives.append((lineno, sorted(rules), reason))
+            if m.group("kind") == "disable-file":
+                table.file_wide.update(rules)
+            else:
+                table.by_line.setdefault(lineno, set()).update(rules)
+        return table
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        """Whether *rule_id* is silenced at *lineno*."""
+        if "all" in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(lineno, ())
+        return "all" in rules or rule_id in rules

@@ -9,6 +9,7 @@ depends on wall-clock time — runs are reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, Optional
 
 from ..errors import SimulationError
@@ -31,6 +32,8 @@ class Engine:
     """
 
     def __init__(self, start_time: float = 0.0):
+        if not math.isfinite(start_time):
+            raise SimulationError(f"start_time must be finite, got {start_time}")
         self.now: float = float(start_time)
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = 0
@@ -43,14 +46,25 @@ class Engine:
 
         The event's :meth:`~repro.sim.process.Event._run` is invoked when
         the clock reaches ``now + delay``.
+
+        The delay must be finite and non-negative. NaN in particular
+        would slip past a plain ``delay < 0`` check (every comparison
+        with NaN is False), enter the heapq and poison the total order
+        of the event queue — heap invariants silently break and events
+        start firing out of order.
         """
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._queue, (self.now + delay, priority, self._seq, event))
 
     def call_at(self, when: float, fn: Callable[[], None], priority: int = NORMAL) -> None:
-        """Schedule a bare callback at absolute time *when*."""
+        """Schedule a bare callback at absolute time *when* (finite,
+        not in the past — NaN/inf are rejected like in :meth:`schedule`)."""
+        if not math.isfinite(when):
+            raise SimulationError(f"scheduled time must be finite, got {when}")
         if when < self.now:
             raise SimulationError(f"cannot schedule at {when} < now {self.now}")
         self._seq += 1

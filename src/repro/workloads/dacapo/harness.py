@@ -122,7 +122,9 @@ class DaCapoBenchmark(Workload):
                     )
                 yield from jvm.join([jvm.spawn_mutator(churn_body, "churn")])
             if p.alloc.old_mutation_fraction > 0:
-                jvm.heap.dirty_cards(p.alloc.old_mutation_fraction * live.resident_bytes)
+                yield from jvm.world.dirty_cards(
+                    p.alloc.old_mutation_fraction * live.resident_bytes
+                )
 
             result.iteration_times.append(jvm.now - t_start)
 

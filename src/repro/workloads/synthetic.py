@@ -133,7 +133,7 @@ class SyntheticWorkload(Workload):
                         acc[0] += piece
                         remaining -= piece
                     if p.dirty_rate > 0:
-                        jvm.heap.dirty_cards(p.dirty_rate * cpu)
+                        yield from jvm.world.dirty_cards(p.dirty_rate * cpu)
 
             procs = [jvm.spawn_mutator(worker_body, f"{phase.name}-w{g}")
                      for g in range(groups)]

@@ -1,0 +1,11 @@
+"""Clean fixture: idiomatic deterministic simulation code, zero findings."""
+
+from repro.seeding import rng_for
+
+GOOD_FLAGS = ["-XX:+UseG1GC", "-Xmx16g", "-XX:MaxGCPauseMillis=200"]
+
+
+def sample_pauses(n):
+    rng = rng_for("lint-clean-fixture", n)
+    times = sorted(float(x) for x in rng.random(n))
+    return [t for t in times if t > 0.5]

@@ -1,0 +1,17 @@
+"""SL003 fixture: unordered iteration (lives under a ``sim/`` dir so the
+rule's path scoping applies)."""
+
+
+def drain(events, ready):
+    total = 0.0
+    for ev in {e for e in events}:       # SL003: set comprehension
+        total += ev
+    for ev in set(events):               # SL003: set() result
+        total += ev
+    for key in ready.keys():             # SL003: dict .keys()
+        total += key
+    vals = [v for v in {1, 2, 3}]        # SL003: set literal in comprehension
+    # sorted() makes the order explicit — allowed:
+    for ev in sorted(set(events)):
+        total += ev
+    return total, vals

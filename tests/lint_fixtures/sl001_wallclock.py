@@ -1,0 +1,18 @@
+"""SL001 fixture: wall-clock and OS-entropy reads (each line a violation)."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp():
+    a = time.time()            # SL001: wall clock
+    b = pc()                   # SL001: aliased perf_counter
+    c = datetime.now()         # SL001: datetime
+    d = os.urandom(8)          # SL001: OS entropy
+    e = uuid.uuid4()           # SL001: entropy-backed uuid
+    f = random.random()        # SL001: stdlib global RNG
+    return a, b, c, d, e, f

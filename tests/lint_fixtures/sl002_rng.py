@@ -1,0 +1,13 @@
+"""SL002 fixture: ad-hoc RNG construction outside repro.seeding."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_generators():
+    a = np.random.default_rng(0)     # SL002: literal seed
+    b = np.random.default_rng()      # SL002: OS entropy
+    c = default_rng(42)              # SL002: aliased literal seed
+    # Seed derived from data, not a literal — allowed:
+    d = np.random.default_rng(hash("part") & 0xFFFF)
+    return a, b, c, d

@@ -1,0 +1,15 @@
+"""SL004 fixture: exact equality on simulated-time floats."""
+
+
+def check(engine, pause_start_time, wake_at, deadline_len):
+    if engine.now == pause_start_time:          # SL004
+        return True
+    if wake_at != engine.now:                   # SL004
+        return False
+    if engine.peek() == wake_at:                # SL004: peek() is a time
+        return True
+    # Non-numeric comparand — not a float comparison, allowed:
+    if pause_start_time == "never":
+        return False
+    # Tolerance comparison — the sanctioned form:
+    return abs(engine.now - wake_at) < 1e-9 and deadline_len > 0

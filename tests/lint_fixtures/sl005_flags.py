@@ -1,0 +1,11 @@
+"""SL005 fixture: a HotSpot flag literal that does not dry-parse."""
+
+BAD_FLAGS = [
+    "-XX:+UseParallelOldGC",
+    "-Xmx12g",
+    "-XX:ThisFlagDoesNotExist=1",   # SL005: unknown -XX flag
+]
+
+GOOD_FLAGS = ["-XX:+UseConcMarkSweepGC", "-Xms16g", "-Xmx16g"]
+
+NOT_FLAGS = ["--xray", "not a flag list"]  # no -X element: rule skips it

@@ -1,0 +1,50 @@
+"""SL006 fixture: Collector overrides that break / keep pause accounting."""
+
+from repro.gc.base import Collector, Outcome, STWPause
+
+
+class DroppedPauseGC(Collector):
+    """BAD: young collection runs but no STWPause is ever constructed —
+    the GC work would vanish from the log."""
+
+    name = "DroppedPause"
+
+    def allocation_failure(self, now):          # SL006
+        self.heap.minor_collection(now, self._tenuring)
+        return Outcome()
+
+
+class SilentFullGC(Collector):
+    """BAD: override routes through a helper that also drops the pause."""
+
+    name = "SilentFull"
+
+    def explicit_gc(self, now):                 # SL006
+        return self._quiet(now)
+
+    def _quiet(self, now):
+        self.heap.full_collection(now)
+        return Outcome()
+
+
+class HonestGC(Collector):
+    """GOOD: constructs the pause itself (reached through a helper)."""
+
+    name = "Honest"
+
+    def allocation_failure(self, now):
+        return self._do_young(now)
+
+    def _do_young(self, now):
+        pause, vol = self._minor(now, "Allocation Failure")
+        return Outcome(pauses=[pause])
+
+
+class DelegatingGC(HonestGC):
+    """GOOD: delegates to the base mechanics, which keep accounting."""
+
+    name = "Delegating"
+
+    def explicit_gc(self, now):
+        pause = self._full(now, "System.gc()", compacting=False)
+        return Outcome(pauses=[STWPause("vm-op", "follow-up", 0.0)] + [pause])

@@ -1,0 +1,12 @@
+"""Suppression fixture: every violation here carries a directive."""
+
+import time
+
+# simlint: disable-file=SL002 -- fixture exercises file-wide suppression
+import numpy as np
+
+
+def calibrate():
+    t0 = time.time()  # simlint: disable=SL001 -- wall-clock calibration only
+    rng = np.random.default_rng(0)  # file-wide SL002 suppression applies
+    return t0, rng.random()

@@ -1,0 +1,218 @@
+"""Tests for the simlint static-analysis pass (rules, suppressions,
+baseline, CLI) against the committed fixture files."""
+
+import pathlib
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_BASELINE,
+    FileContext,
+    RULES_BY_ID,
+    SuppressionTable,
+    default_rules,
+    finding_key,
+    lint_file,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def lint_fixture(name, rule_ids=None):
+    """Lint one fixture file; returns (reportable, suppressed) findings."""
+    rules = default_rules()
+    if rule_ids:
+        rules = [r for r in rules if r.rule_id in rule_ids]
+    return lint_file(FIXTURES / name, rules)
+
+
+class TestRuleDetection:
+    def test_sl001_flags_every_wallclock_read(self):
+        findings, _ = lint_fixture("sl001_wallclock.py", {"SL001"})
+        assert len(findings) == 6
+        assert {f.rule_id for f in findings} == {"SL001"}
+        messages = " ".join(f.message for f in findings)
+        assert "time.time" in messages
+        assert "time.perf_counter" in messages       # resolved through alias
+        assert "datetime.datetime.now" in messages
+        assert "os.urandom" in messages
+        assert "uuid.uuid4" in messages
+        assert "random.random" in messages
+
+    def test_sl002_flags_literal_and_missing_seeds(self):
+        findings, _ = lint_fixture("sl002_rng.py", {"SL002"})
+        assert len(findings) == 3
+        # Derived (non-literal) seed on the last call is allowed.
+        sources = [f.source_line for f in findings]
+        assert not any("hash(" in s for s in sources)
+
+    def test_sl002_exempts_repro_seeding_itself(self):
+        rules = [RULES_BY_ID["SL002"]()]
+        findings, _ = lint_file(
+            REPO_ROOT / "src" / "repro" / "seeding.py", rules
+        )
+        assert findings == []
+
+    def test_sl003_flags_unordered_iteration_under_sim(self):
+        findings, _ = lint_fixture("sim/sl003_iteration.py", {"SL003"})
+        assert len(findings) == 4
+        descs = " ".join(f.message for f in findings)
+        assert "set comprehension" in descs
+        assert "set() result" in descs
+        assert ".keys() result" in descs
+        assert "set literal" in descs
+
+    def test_sl003_scoped_to_core_dirs(self):
+        # The same code outside sim/gc/jvm is not the rule's business.
+        rule = RULES_BY_ID["SL003"]()
+        src = "for x in set(items):\n    pass\n"
+        assert not rule.applies(FileContext("tests/helpers/loop.py", src))
+        assert rule.applies(FileContext("src/repro/gc/base.py", src))
+
+    def test_sl004_flags_time_equality(self):
+        findings, _ = lint_fixture("sl004_float_eq.py", {"SL004"})
+        assert len(findings) == 3
+
+    def test_sl005_flags_bad_flag_literal(self):
+        findings, _ = lint_fixture("sl005_flags.py", {"SL005"})
+        assert len(findings) == 1
+        assert "ThisFlagDoesNotExist" in findings[0].message
+
+    def test_sl006_flags_dropped_pauses_only(self):
+        findings, _ = lint_fixture("sl006_collector.py", {"SL006"})
+        assert len(findings) == 2
+        labels = {f.message.split("`")[1] for f in findings}
+        assert labels == {
+            "DroppedPauseGC.allocation_failure",
+            "SilentFullGC.explicit_gc",
+        }
+
+    def test_clean_fixture_has_zero_findings(self):
+        findings, suppressed = lint_fixture("clean.py")
+        assert findings == []
+        assert suppressed == []
+
+    def test_findings_format_as_path_line_rule(self):
+        findings, _ = lint_fixture("sl005_flags.py", {"SL005"})
+        line = findings[0].format()
+        assert line.startswith(f"{findings[0].path}:{findings[0].line} SL005 ")
+
+    def test_syntax_error_becomes_sl000_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings, _ = lint_file(bad, default_rules())
+        assert len(findings) == 1
+        assert findings[0].rule_id == "SL000"
+
+
+class TestSuppressions:
+    def test_fixture_violations_are_all_suppressed(self):
+        findings, suppressed = lint_fixture("suppressed.py")
+        assert findings == []
+        assert {f.rule_id for f in suppressed} == {"SL001", "SL002"}
+
+    def test_line_directive_parsing(self):
+        table = SuppressionTable.from_source(
+            "x = 1  # simlint: disable=SL001,SL004 -- calibration\n"
+        )
+        assert table.is_suppressed("SL001", 1)
+        assert table.is_suppressed("SL004", 1)
+        assert not table.is_suppressed("SL002", 1)
+        assert not table.is_suppressed("SL001", 2)
+        assert table.directives[0][2] == "calibration"
+
+    def test_file_directive_applies_everywhere(self):
+        table = SuppressionTable.from_source("# simlint: disable-file=SL003\n")
+        assert table.is_suppressed("SL003", 999)
+
+    def test_disable_all(self):
+        table = SuppressionTable.from_source("y = 2  # simlint: disable=all\n")
+        assert table.is_suppressed("SL001", 1)
+        assert table.is_suppressed("SL006", 1)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings, _ = lint_fixture("sl001_wallclock.py", {"SL001"})
+        path = tmp_path / ".simlint-baseline"
+        keys = write_baseline(path, findings)
+        assert load_baseline(path) == set(keys)
+        # With the baseline loaded, the same findings stop failing the run.
+        result = run_lint(
+            [str(FIXTURES / "sl001_wallclock.py")],
+            [RULES_BY_ID["SL001"]()],
+            baseline=load_baseline(path),
+        )
+        assert result.ok
+        assert len(result.baselined) == len(findings)
+
+    def test_key_survives_line_renumbering(self):
+        findings, _ = lint_fixture("sl001_wallclock.py", {"SL001"})
+        f = findings[0]
+        moved = type(f)(f.path, f.line + 40, f.rule_id, f.message, f.source_line)
+        assert finding_key(moved) == finding_key(f)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope") == set()
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, capsys):
+        rc = lint_main(["--no-baseline", str(FIXTURES / "sl002_rng.py")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SL002" in out
+
+    def test_exit_zero_on_clean(self, capsys):
+        rc = lint_main(["--no-baseline", str(FIXTURES / "clean.py")])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_two_without_files(self, tmp_path):
+        assert lint_main([str(tmp_path)]) == 2
+
+    def test_select_subset(self, capsys):
+        rc = lint_main([
+            "--no-baseline", "--select", "SL004",
+            str(FIXTURES / "sl001_wallclock.py"),
+        ])
+        assert rc == 0  # SL001 violations invisible to an SL004-only run
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+            assert rule_id in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        target = str(FIXTURES / "sl001_wallclock.py")
+        assert lint_main(["--baseline", str(base), "--write-baseline", target]) == 0
+        assert lint_main(["--baseline", str(base), target]) == 0
+
+    def test_default_baseline_name(self):
+        assert DEFAULT_BASELINE == ".simlint-baseline"
+
+
+class TestRepoIsClean:
+    """Meta-test: the shipped tree passes its own lint, with no baseline
+    debt and no unjustified suppressions."""
+
+    PATHS = [str(REPO_ROOT / d) for d in ("src", "benchmarks", "examples")]
+
+    def test_repo_lints_clean_without_baseline(self):
+        result = run_lint(self.PATHS)
+        assert result.files_checked > 50
+        assert result.ok, "\n" + "\n".join(f.format() for f in result.findings)
+
+    def test_repo_has_no_suppressions(self):
+        result = run_lint(self.PATHS)
+        assert result.suppressed == []
+
+    def test_committed_baseline_is_empty(self):
+        assert load_baseline(REPO_ROOT / DEFAULT_BASELINE) == set()

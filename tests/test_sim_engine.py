@@ -87,6 +87,24 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             Engine().step()
 
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_delay_rejected(self, delay):
+        # NaN slips past a plain `delay < 0` check (every NaN comparison
+        # is False) and would poison the heapq's total order.
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(Event(eng), delay=delay)
+
+    @pytest.mark.parametrize("when", [float("nan"), float("inf"), float("-inf")])
+    def test_call_at_non_finite_rejected(self, when):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.call_at(when, lambda: None)
+
+    def test_non_finite_start_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(start_time=float("nan"))
+
     def test_peek_returns_next_event_time(self):
         eng = Engine()
         Timeout(eng, 7.0)

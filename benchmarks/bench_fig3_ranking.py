@@ -11,13 +11,15 @@ and ParallelOld contributes >20 % of wins; without (b), G1 appears but
 stays last and ParallelOld leads at almost 30 %.
 """
 
-from repro import GB, JVM, JVMConfig
+from repro import GB
 from repro.analysis.ranking import rank_by_wins
 from repro.analysis.report import render_table
+from repro.campaign import CampaignSpec, run_campaign
 from repro.gc import GC_NAMES
-from repro.workloads.dacapo import STABLE_SUBSET, get_benchmark
+from repro.studies import GridSpec, run_grid
+from repro.workloads.dacapo import STABLE_SUBSET
 
-from common import emit, once, quick_or_full
+from common import campaign_opts, emit, once, quick_or_full
 
 #: (heap, young) grid: baseline -> machine RAM, young -> heap.
 GRID = quick_or_full(
@@ -32,19 +34,32 @@ SEED = 0
 
 
 def run_experiment():
+    # The (heap, young) pairs are not a full product, so each pair is its
+    # own single-point GridSpec; one campaign per System.gc() setting.
+    # With REPRO_CAMPAIGN=1 cells fan out across cores and cache on disk
+    # (results are bit-identical to the serial path either way).
     results = {}
     for system_gc in (True, False):
+        grids = [
+            GridSpec(benchmarks=STABLE_SUBSET, gcs=GC_NAMES, heaps=[heap],
+                     youngs=[young], seeds=[SEED], iterations=ITERATIONS,
+                     system_gc=system_gc)
+            for heap, young in GRID
+        ]
+        opts = campaign_opts()
+        if opts is None:
+            grid_results = [run_grid(g) for g in grids]
+        else:
+            label = "sysgc" if system_gc else "nosysgc"
+            campaign = run_campaign(CampaignSpec(f"fig3-{label}", grids), **opts)
+            grid_results = campaign.grids
         experiments = {}
-        for name in STABLE_SUBSET:
-            for heap, young in GRID:
-                times = {}
-                for gc in GC_NAMES:
-                    jvm = JVM(JVMConfig(gc=gc, heap=heap, young=young, seed=SEED))
-                    r = jvm.run(get_benchmark(name), iterations=ITERATIONS,
-                                system_gc=system_gc)
-                    if not r.crashed:
-                        times[gc] = r.execution_time
-                experiments[(name, heap, young)] = times
+        for grid in grid_results:
+            for key, run in grid.runs.items():
+                if run.crashed:
+                    continue
+                exp = experiments.setdefault((key.benchmark, key.heap, key.young), {})
+                exp[key.gc] = run.execution_time
         results[system_gc] = rank_by_wins(experiments)
     return results
 

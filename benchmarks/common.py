@@ -26,6 +26,30 @@ def quick_or_full(quick, full):
     return full if FULL else quick
 
 
+def campaign_opts():
+    """Opt-in campaign backend for grid-shaped benches.
+
+    Set ``REPRO_CAMPAIGN=1`` to run grid benches through
+    :func:`repro.campaign.run_campaign` instead of in-process serial
+    loops: cells fan out across cores (``REPRO_CAMPAIGN_WORKERS`` sizes
+    the pool, default one per core) and results are cached
+    content-addressed under ``benchmarks/out/campaign-store``, so
+    re-running a bench — or sharing cells between quick and full grids —
+    skips completed work. Results are bit-identical to the serial path.
+
+    Returns ``run_campaign`` keyword arguments, or ``None`` when the
+    backend is not enabled.
+    """
+    if os.environ.get("REPRO_CAMPAIGN", "") in ("", "0", "false"):
+        return None
+    workers = os.environ.get("REPRO_CAMPAIGN_WORKERS", "")
+    return {
+        "store": OUT_DIR / "campaign-store",
+        "executor": "process",
+        "workers": int(workers) if workers else None,
+    }
+
+
 def emit(name: str, text: str) -> str:
     """Print *text* and persist it to ``benchmarks/out/<name>.txt``."""
     OUT_DIR.mkdir(exist_ok=True)

@@ -60,6 +60,34 @@ def render_series(
     return f"{label}: {pts}" if label else pts
 
 
+def render_campaign_summary(campaign) -> str:
+    """Render a :class:`~repro.campaign.runner.CampaignResult` as text.
+
+    Duck-typed (``spec``/``stats``/``grids`` attributes) so this module
+    stays import-light; the campaign layer depends on analysis, not the
+    reverse. The first stats line is grep-stable — CI smoke jobs assert
+    on its ``cached N/M`` token.
+    """
+    lines: List[str] = [
+        f"campaign {campaign.spec.name!r}: "
+        f"{len(campaign.grids)} grid(s), {campaign.stats.total} unique cells",
+        campaign.stats.summary(),
+    ]
+    for i, grid in enumerate(campaign.grids):
+        if not grid.runs:
+            lines.append(f"grid {i}: no completed cells")
+            continue
+        crashed = len(grid.crashed_cells())
+        lines.append(f"grid {i}: {len(grid.runs)} cells, {crashed} crashed")
+        ranking = grid.winners()
+        if ranking.total_experiments:
+            lines.append(render_table(
+                ["GC", "% of experiments won"],
+                [(gc, round(pct, 1)) for gc, pct in ranking.ordered()],
+            ))
+    return "\n".join(lines)
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}".rstrip("0").rstrip(".") if abs(cell) < 1e6 else f"{cell:.3g}"

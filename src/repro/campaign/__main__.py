@@ -1,0 +1,8 @@
+"""``python -m repro.campaign`` — same as the ``repro-campaign`` script."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

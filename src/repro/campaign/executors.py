@@ -1,0 +1,147 @@
+"""Pluggable cell executors: serial in-process, or a process-pool fan-out.
+
+Executors only decide *where* cells run; they never affect *what* a cell
+computes. Every cell seeds its own RNG streams from its coordinates
+(:func:`repro.seeding.rng_for`), so the process executor with any worker
+count yields bit-identical results to the serial one — asserted by
+``tests/test_campaign.py``.
+
+Failures are data, not control flow: an executor yields either a
+:class:`~repro.jvm.RunResult` or a :class:`CellFailure` per cell, always
+in submission order, and leaves the retry/quarantine policy to the
+:mod:`~repro.campaign.runner`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigError
+from ..jvm import RunResult
+from .cells import CellSpec
+
+
+@dataclass
+class CellFailure:
+    """One cell's infrastructure failure (the *worker* broke, not the
+    simulated JVM — simulated crashes are ``RunResult.crashed``)."""
+
+    cell: CellSpec
+    kind: str                   #: "exception" | "timeout" | "broken-pool"
+    error: str                  #: human-readable description
+    exc: Optional[BaseException] = None
+
+    def format(self) -> str:
+        """One-line description for logs and quarantine reports."""
+        return f"[{self.kind}] {self.cell.benchmark}/{self.cell.gc}/seed={self.cell.seed}: {self.error}"
+
+
+Outcome = Union[RunResult, CellFailure]
+CellFn = Callable[[CellSpec], RunResult]
+SubmitHook = Optional[Callable[[CellSpec], None]]
+
+
+def default_workers() -> int:
+    """Auto-sized worker count: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class SerialExecutor:
+    """Run cells one after another in this process (the reference
+    executor: `run_grid`'s historical behaviour)."""
+
+    name = "serial"
+
+    def run_cells(self, cells: Sequence[CellSpec], fn: CellFn, *,
+                  timeout: Optional[float] = None,
+                  on_submit: SubmitHook = None) -> Iterator[Tuple[CellSpec, Outcome]]:
+        """Yield ``(cell, RunResult | CellFailure)`` in order.
+
+        ``timeout`` is accepted for interface parity but not enforced —
+        there is no second process to keep the deadline.
+        """
+        for cell in cells:
+            if on_submit is not None:
+                on_submit(cell)
+            try:
+                yield cell, fn(cell)
+            except Exception as exc:
+                yield cell, CellFailure(cell=cell, kind="exception",
+                                        error=f"{type(exc).__name__}: {exc}",
+                                        exc=exc)
+
+
+class ProcessExecutor:
+    """Fan cells out across worker processes.
+
+    Cells are submitted eagerly and collected in submission order, so
+    downstream consumers assemble identical result dicts regardless of
+    which worker finished first. ``timeout`` bounds the wall-clock wait
+    per cell *from the moment its turn to be collected comes*; a timed-out
+    cell is reported as a :class:`CellFailure` (kind ``timeout``) and its
+    future cancelled if it never started.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ConfigError("workers must be >= 1")
+        self.workers = workers or default_workers()
+
+    def run_cells(self, cells: Sequence[CellSpec], fn: CellFn, *,
+                  timeout: Optional[float] = None,
+                  on_submit: SubmitHook = None) -> Iterator[Tuple[CellSpec, Outcome]]:
+        """Yield ``(cell, RunResult | CellFailure)`` in submission order."""
+        if not cells:
+            return
+        max_workers = min(self.workers, len(cells))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = []
+            for cell in cells:
+                if on_submit is not None:
+                    on_submit(cell)
+                futures.append(pool.submit(fn, cell))
+            for cell, future in zip(cells, futures):
+                try:
+                    yield cell, future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    yield cell, CellFailure(
+                        cell=cell, kind="timeout",
+                        error=f"cell exceeded {timeout}s wall-clock budget",
+                    )
+                except BrokenProcessPool as exc:
+                    # The pool is dead; report this and every remaining
+                    # cell as broken (their futures would raise the same).
+                    yield cell, CellFailure(cell=cell, kind="broken-pool",
+                                            error=str(exc) or "worker process died",
+                                            exc=exc)
+                except Exception as exc:
+                    yield cell, CellFailure(cell=cell, kind="exception",
+                                            error=f"{type(exc).__name__}: {exc}",
+                                            exc=exc)
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(name: str, workers: Optional[int] = None):
+    """Resolve an executor by name (``serial`` | ``process``)."""
+    try:
+        factory = _EXECUTORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown executor {name!r}; choose from {sorted(_EXECUTORS)}"
+        ) from None
+    if factory is ProcessExecutor:
+        return ProcessExecutor(workers=workers)
+    return factory()

@@ -1,0 +1,238 @@
+"""Content-addressed on-disk result store for campaigns.
+
+Layout (one directory per store)::
+
+    <root>/
+      manifest.json      # campaign registry: specs that wrote here
+      records.jsonl      # one JSON record per completed/failed cell
+
+Each record line is ``{"digest", "status", "cell", "run"|"error", ...}``
+keyed by the cell's content digest (:meth:`CellSpec.digest`), so a cache
+lookup is independent of which campaign, executor or worker produced the
+record. Records are appended and **fsynced one line at a time** — a
+``kill -9`` can at worst truncate the final line, never lose a completed
+cell; the loader quarantines undecodable lines (keeping a count) and
+compacts the file instead of failing, so an interrupted write costs one
+re-simulated cell, not the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..jvm import RunResult
+from .cells import CellSpec, decode_run, encode_run
+
+MANIFEST_NAME = "manifest.json"
+RECORDS_NAME = "records.jsonl"
+
+#: Store format version; readers reject newer majors.
+STORE_VERSION = 1
+
+
+class ResultStore:
+    """Append-only, content-addressed store of cell results."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._records: Dict[str, dict] = {}
+        self.quarantined_lines = 0
+        self._load()
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        """Path of the campaign-registry manifest."""
+        return self.root / MANIFEST_NAME
+
+    @property
+    def records_path(self) -> pathlib.Path:
+        """Path of the JSONL record file."""
+        return self.root / RECORDS_NAME
+
+    # -- loading --------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.records_path.exists():
+            return
+        corrupt = 0
+        with open(self.records_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    digest = rec["digest"]
+                    status = rec["status"]
+                except (ValueError, KeyError, TypeError):
+                    corrupt += 1
+                    continue
+                if status == "ok" and "run" not in rec:
+                    corrupt += 1
+                    continue
+                self._records[digest] = rec  # duplicates: last write wins
+        self.quarantined_lines = corrupt
+        if corrupt:
+            # Drop the undecodable lines on disk so they are quarantined
+            # exactly once, not re-reported by every later open.
+            self.compact()
+
+    # -- queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The raw record for *digest*, or None."""
+        return self._records.get(digest)
+
+    def get_run(self, digest: str) -> Optional[RunResult]:
+        """The decoded :class:`RunResult` for an ``ok`` record, else None."""
+        rec = self._records.get(digest)
+        if rec is None or rec["status"] != "ok":
+            return None
+        return decode_run(rec["run"])
+
+    def ok_digests(self) -> List[str]:
+        """Digests with a completed run (sorted for determinism)."""
+        return sorted(d for d, r in self._records.items() if r["status"] == "ok")
+
+    def failed_digests(self) -> List[str]:
+        """Digests whose last record is a failure (sorted)."""
+        return sorted(d for d, r in self._records.items() if r["status"] != "ok")
+
+    def iter_ok(self) -> Iterator[Tuple[CellSpec, RunResult]]:
+        """Iterate ``(cell, run)`` over completed records, sorted by cell."""
+        for digest in self.ok_digests():
+            rec = self._records[digest]
+            yield CellSpec.from_dict(rec["cell"]), decode_run(rec["run"])
+
+    # -- writes ---------------------------------------------------------
+
+    def _append(self, rec: dict) -> None:
+        with open(self.records_path, "a") as fh:
+            fh.write(json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._records[rec["digest"]] = rec
+
+    def record_ok(self, cell: CellSpec, result: RunResult) -> None:
+        """Persist a completed cell (flushed + fsynced immediately)."""
+        self._append({
+            "v": STORE_VERSION,
+            "digest": cell.digest(),
+            "status": "ok",
+            "cell": cell.to_dict(),
+            "run": encode_run(result),
+        })
+
+    def record_failure(self, cell: CellSpec, kind: str, error: str,
+                       attempts: int) -> None:
+        """Persist a quarantined cell (worker crash/timeout, retries spent)."""
+        self._append({
+            "v": STORE_VERSION,
+            "digest": cell.digest(),
+            "status": "failed",
+            "cell": cell.to_dict(),
+            "kind": kind,
+            "error": error,
+            "attempts": attempts,
+        })
+
+    def compact(self) -> None:
+        """Rewrite the record file from memory: drops corrupt lines and
+        superseded duplicates. Atomic (write + rename)."""
+        tmp = self.records_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as fh:
+            for digest in sorted(self._records):
+                fh.write(json.dumps(self._records[digest], sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.records_path)
+
+    def drop_failures(self) -> int:
+        """Remove failure records (so the next run retries them)."""
+        failed = self.failed_digests()
+        for digest in failed:
+            del self._records[digest]
+        if failed:
+            self.compact()
+        return len(failed)
+
+    def clear(self) -> int:
+        """Remove every record (the manifest is kept)."""
+        n = len(self._records)
+        self._records.clear()
+        if self.records_path.exists():
+            self.records_path.unlink()
+        return n
+
+    # -- manifest -------------------------------------------------------
+
+    def read_manifest(self) -> dict:
+        """The manifest dict (empty registry when absent)."""
+        if not self.manifest_path.exists():
+            return {"version": STORE_VERSION, "campaigns": []}
+        try:
+            with open(self.manifest_path) as fh:
+                manifest = json.load(fh)
+        except ValueError as exc:
+            raise ConfigError(f"corrupt manifest {self.manifest_path}: {exc}") from None
+        if manifest.get("version", 0) > STORE_VERSION:
+            raise ConfigError(
+                f"store {self.root} written by a newer repro (manifest v{manifest['version']})"
+            )
+        return manifest
+
+    def register_campaign(self, entry: dict) -> None:
+        """Idempotently add a campaign entry (keyed by its spec digest)."""
+        manifest = self.read_manifest()
+        campaigns = [c for c in manifest.get("campaigns", [])
+                     if c.get("digest") != entry.get("digest")]
+        campaigns.append(entry)
+        manifest["campaigns"] = campaigns
+        manifest["version"] = STORE_VERSION
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        tmp.replace(self.manifest_path)
+
+    # -- export ---------------------------------------------------------
+
+    def to_rows(self) -> List[List]:
+        """Flat rows over completed records, in
+        :data:`repro.studies.GRID_CSV_COLUMNS` order and the same sort
+        order as :meth:`repro.studies.GridResult.to_rows`."""
+        cells_runs = list(self.iter_ok())
+        cells_runs.sort(key=lambda cr: (cr[0].benchmark, cr[0].gc, cr[0].heap,
+                                        cr[0].young or 0.0, cr[0].seed))
+        rows = []
+        for cell, run in cells_runs:
+            rows.append([
+                cell.benchmark, cell.gc, cell.heap, cell.young, cell.seed,
+                run.execution_time, run.final_iteration_time, run.crashed,
+                run.gc_log.count, run.gc_log.full_count,
+                run.gc_log.total_pause, run.gc_log.max_pause,
+            ])
+        return rows
+
+    def to_csv(self, path) -> None:
+        """Export completed records as CSV, byte-compatible with
+        :meth:`repro.studies.GridResult.to_csv` for the same cells."""
+        import csv
+
+        from ..studies import GRID_CSV_COLUMNS
+
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(GRID_CSV_COLUMNS)
+            writer.writerows(self.to_rows())

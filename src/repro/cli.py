@@ -11,7 +11,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-specjbb``   — run the SPECjbb-style warehouse ramp;
 * ``repro-cluster``   — run the multi-node failure-detector study;
 * ``repro-lint``      — static determinism/invariant analysis over the
-  source tree (see :mod:`repro.lint`).
+  source tree (see :mod:`repro.lint`);
+* ``repro-campaign``  — parallel, cached, resumable experiment-grid
+  campaigns (see :mod:`repro.campaign`).
 
 ``repro-dacapo --audit`` additionally attaches the runtime
 :class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
@@ -71,6 +73,8 @@ def dacapo_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="attach the runtime InvariantAuditor "
                              "(VerifyBeforeGC/VerifyAfterGC analogue)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live iteration progress (done/total, ETA) on stderr")
     _jvm_args(parser)
     args = parser.parse_args(argv)
 
@@ -81,12 +85,23 @@ def dacapo_main(argv: Optional[List[str]] = None) -> int:
 
         auditor = InvariantAuditor()
         auditor.attach(jvm)
+    reporter = None
+    on_iteration = None
+    if args.progress:
+        from .campaign.progress import ProgressReporter
+
+        reporter = ProgressReporter(args.iterations, label="iterations")
+        reporter.start()
+        on_iteration = lambda _i, _t: reporter.advance()  # noqa: E731
     result = jvm.run(
         get_benchmark(args.benchmark),
         iterations=args.iterations,
         system_gc=not args.no_system_gc,
         threads=args.threads,
+        on_iteration=on_iteration,
     )
+    if reporter is not None:
+        reporter.finish()
     print(result.summary())
     rows = [(i + 1, round(t, 3)) for i, t in enumerate(result.iteration_times)]
     print(render_table(["iteration", "duration (s)"], rows))
@@ -242,6 +257,13 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
 def lint_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-lint``: static determinism analysis."""
     from .lint.cli import main
+
+    return main(argv)
+
+
+def campaign_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-campaign``: cached parallel grid sweeps."""
+    from .campaign.cli import main
 
     return main(argv)
 

@@ -5,6 +5,13 @@ are shared across runs (``[seed, salt_a, salt_b]``) produces visibly
 correlated first draws across nearby ``seed`` values. We instead mix all
 parts into a single 63-bit integer with a splitmix-style hash, which gives
 well-dispersed, reproducible streams.
+
+This is also what makes :mod:`repro.campaign` executor-independent: every
+RNG stream in a run derives from the run's own coordinates (seed,
+collector, purpose salt) through :func:`rng_for`, never from process
+identity, scheduling or execution order — so a grid cell computes the
+same bits whether it runs serially, on any worker of a process pool, or
+is replayed from a cache. ``tests/test_campaign.py`` pins this.
 """
 
 from __future__ import annotations

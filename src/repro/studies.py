@@ -30,10 +30,7 @@ import numpy as np
 
 from .analysis.ranking import RankingResult, rank_by_wins
 from .errors import ConfigError
-from .gc.registry import resolve_gc
-from .jvm import JVM, JVMConfig, RunResult
-from .units import parse_size
-from .workloads.dacapo import get_benchmark
+from .jvm import RunResult
 
 
 @dataclass(frozen=True)
@@ -51,8 +48,13 @@ class GridSpec:
     tlab_enabled: bool = True
 
     def __post_init__(self) -> None:
-        if not self.benchmarks or not self.gcs or not self.heaps:
-            raise ConfigError("grid axes must be non-empty")
+        # Every axis must be non-empty: an empty `youngs` or `seeds` would
+        # silently make the product zero cells, not fail loudly.
+        for axis in ("benchmarks", "gcs", "heaps", "youngs", "seeds"):
+            if not getattr(self, axis):
+                raise ConfigError(f"grid axis {axis!r} must be non-empty")
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
 
     def cells(self):
         """Iterate (benchmark, gc, heap, young, seed) tuples."""
@@ -171,35 +173,43 @@ GRID_CSV_COLUMNS = [
 
 
 def run_grid(spec: GridSpec, progress: Optional[Callable[[CellKey], None]] = None,
-             **config_overrides) -> GridResult:
+             executor=None, **config_overrides) -> GridResult:
     """Execute every cell of *spec* and collect the results.
 
     Crashing benchmarks (e.g. *eclipse*) are recorded as crashed runs, not
     raised. ``config_overrides`` are forwarded into every
     :class:`~repro.jvm.flags.JVMConfig`.
-    """
-    from .heap.tlab import TLABConfig
 
+    Each cell runs through :func:`repro.campaign.cells.run_cell`;
+    *executor* (any :mod:`repro.campaign.executors` instance) chooses
+    where. The default serial executor preserves the historical strictly-
+    sequential behaviour and results exactly; a
+    :class:`~repro.campaign.executors.ProcessExecutor` fans cells out
+    across cores and — because every cell seeds its RNG streams from its
+    own coordinates — yields a bit-identical :class:`GridResult`. For
+    caching and resumability on top, see :func:`repro.campaign.run_campaign`.
+    """
+    from .campaign.cells import CellSpec, run_cell
+    from .campaign.executors import CellFailure, SerialExecutor
+
+    if executor is None:
+        executor = SerialExecutor()
+    cells = [
+        CellSpec.from_axes(
+            benchmark, gc, heap, young, seed,
+            iterations=spec.iterations, system_gc=spec.system_gc,
+            tlab_enabled=spec.tlab_enabled, overrides=config_overrides,
+        )
+        for benchmark, gc, heap, young, seed in spec.cells()
+    ]
+    on_submit = (lambda cell: progress(cell.key())) if progress is not None else None
     result = GridResult(spec=spec)
-    for benchmark, gc, heap, young, seed in spec.cells():
-        key = CellKey(
-            benchmark=benchmark,
-            gc=resolve_gc(gc).value,
-            heap=parse_size(heap),
-            young=parse_size(young) if young is not None else None,
-            seed=seed,
-        )
-        if progress is not None:
-            progress(key)
-        config = JVMConfig(
-            gc=gc, heap=heap, young=young, seed=seed,
-            tlab=TLABConfig(enabled=spec.tlab_enabled),
-            **config_overrides,
-        )
-        jvm = JVM(config)
-        result.runs[key] = jvm.run(
-            get_benchmark(benchmark),
-            iterations=spec.iterations,
-            system_gc=spec.system_gc,
-        )
+    for cell, outcome in executor.run_cells(cells, run_cell, on_submit=on_submit):
+        if isinstance(outcome, CellFailure):
+            # Preserve the historical contract: infrastructure errors
+            # (unknown benchmark, bad override, dead worker) raise.
+            if outcome.exc is not None:
+                raise outcome.exc
+            raise ConfigError(outcome.format())
+        result.runs[cell.key()] = outcome
     return result

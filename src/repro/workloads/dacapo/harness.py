@@ -45,6 +45,7 @@ class DaCapoBenchmark(Workload):
         threads: Optional[int] = None,
         sim_thread_cap: int = 8,
         quanta_per_iteration: int = 6,
+        on_iteration=None,
     ):
         """Driver generator (see :class:`~repro.workloads.base.Workload`)."""
         p = self.profile
@@ -127,6 +128,10 @@ class DaCapoBenchmark(Workload):
                 )
 
             result.iteration_times.append(jvm.now - t_start)
+            # Observational hook (e.g. repro-dacapo --progress); called
+            # outside any pause, with the iteration index and duration.
+            if on_iteration is not None:
+                on_iteration(it, result.iteration_times[-1])
 
         result.extras["n_threads"] = n_threads
         result.extras["groups"] = groups

@@ -1,0 +1,409 @@
+"""Tests for the campaign subsystem: cells, store, runner, progress."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.campaign import (
+    CampaignSpec,
+    CellSpec,
+    ProcessExecutor,
+    ProgressReporter,
+    ResultStore,
+    SerialExecutor,
+    decode_run,
+    default_workers,
+    encode_run,
+    get_executor,
+    run_campaign,
+    run_cell,
+)
+from repro.studies import GridSpec, run_grid
+from repro.units import GB, MB
+
+#: One tiny, fast grid reused across the suite (2 cells).
+TINY = GridSpec(benchmarks=["lusearch", "batik"], gcs=["Serial"], heaps=["1g"],
+                youngs=["256m"], seeds=[0], iterations=2)
+
+
+def tiny_campaign(name="tiny"):
+    return CampaignSpec(name, [TINY])
+
+
+# ----------------------------------------------------------------------
+# CellSpec
+# ----------------------------------------------------------------------
+
+
+class TestCellSpec:
+    def test_axes_normalized(self):
+        cell = CellSpec.from_axes("xalan", "g1", "16g", "256m", 3)
+        assert cell.gc == "G1GC"
+        assert cell.heap == 16 * GB
+        assert cell.young == 256 * MB
+        assert cell.seed == 3
+
+    def test_digest_ignores_axis_spelling(self):
+        a = CellSpec.from_axes("xalan", "g1", "16g", None, 0)
+        b = CellSpec.from_axes("xalan", "G1GC", 16 * GB, None, 0)
+        assert a == b and a.digest() == b.digest()
+
+    def test_digest_sensitive_to_config(self):
+        base = CellSpec.from_axes("xalan", "g1", "16g", None, 0)
+        for other in (
+            CellSpec.from_axes("xalan", "g1", "16g", None, 1),
+            CellSpec.from_axes("xalan", "g1", "16g", None, 0, iterations=5),
+            CellSpec.from_axes("xalan", "g1", "16g", None, 0, system_gc=False),
+            CellSpec.from_axes("xalan", "g1", "16g", None, 0, tlab_enabled=False),
+            CellSpec.from_axes("xalan", "g1", "16g", None, 0,
+                               overrides={"gc_threads": 4}),
+        ):
+            assert other.digest() != base.digest()
+
+    def test_dict_round_trip(self):
+        cell = CellSpec.from_axes("h2", "cms", "4g", "1g", 7, iterations=3,
+                                  overrides={"gc_threads": 2})
+        assert CellSpec.from_dict(cell.to_dict()) == cell
+
+    def test_key_matches_run_grid_keys(self):
+        grid = run_grid(TINY)
+        cells = [CellSpec.from_axes(b, g, h, y, s, iterations=TINY.iterations)
+                 for b, g, h, y, s in TINY.cells()]
+        assert [c.key() for c in cells] == list(grid.runs)
+
+
+class TestRunCell:
+    def test_matches_run_grid_cell(self):
+        grid = run_grid(TINY)
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        assert run_cell(cell) == grid.runs[cell.key()]
+
+    def test_simulated_crash_is_a_result_not_an_error(self):
+        cell = CellSpec.from_axes("eclipse", "Serial", "1g", None, 0,
+                                  iterations=1)
+        result = run_cell(cell)
+        assert result.crashed and "eclipse" in result.crash_reason
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ConfigError):
+            run_cell(CellSpec.from_axes("nope", "Serial", "1g", None, 0))
+
+
+class TestRunCodec:
+    def test_round_trip_is_exact(self):
+        cell = CellSpec.from_axes("lusearch", "ParallelOld", "1g", "256m", 0,
+                                  iterations=2)
+        result = run_cell(cell)
+        encoded = encode_run(result)
+        json.dumps(encoded)  # must be JSON-serializable
+        assert decode_run(encoded) == result
+
+    def test_round_trip_preserves_pause_log(self):
+        result = run_cell(CellSpec.from_axes("batik", "G1", "1g", "256m", 1,
+                                             iterations=2))
+        back = decode_run(encode_run(result))
+        assert back.gc_log.pauses == result.gc_log.pauses
+        assert back.gc_log.concurrent == result.gc_log.concurrent
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+class TestExecutors:
+    def test_get_executor(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        proc = get_executor("process", workers=3)
+        assert isinstance(proc, ProcessExecutor) and proc.workers == 3
+        with pytest.raises(ConfigError):
+            get_executor("threads")
+        with pytest.raises(ConfigError):
+            ProcessExecutor(workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_serial_captures_exceptions_as_failures(self):
+        cells = [CellSpec.from_axes("nope", "Serial", "1g", None, 0)]
+        [(cell, outcome)] = list(SerialExecutor().run_cells(cells, run_cell))
+        assert outcome.kind == "exception"
+        assert "nope" in outcome.error and isinstance(outcome.exc, ConfigError)
+        assert "nope" in outcome.format()
+
+    def test_process_matches_serial(self):
+        cells = [CellSpec.from_axes(b, g, h, y, s, iterations=2)
+                 for b, g, h, y, s in TINY.cells()]
+        serial = [r for _c, r in SerialExecutor().run_cells(cells, run_cell)]
+        procs = [r for _c, r in
+                 ProcessExecutor(workers=2).run_cells(cells, run_cell)]
+        assert serial == procs
+
+    def test_process_timeout_reported_as_failure(self):
+        cells = [CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                    iterations=2)]
+        [(cell, outcome)] = list(
+            ProcessExecutor(workers=1).run_cells(cells, run_cell, timeout=1e-9)
+        )
+        assert outcome.kind == "timeout"
+
+    def test_on_submit_called_per_cell(self):
+        seen = []
+        cells = [CellSpec.from_axes(b, g, h, y, s, iterations=2)
+                 for b, g, h, y, s in TINY.cells()]
+        list(SerialExecutor().run_cells(cells, run_cell, on_submit=seen.append))
+        assert seen == cells
+
+
+# ----------------------------------------------------------------------
+# ResultStore
+# ----------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        result = run_cell(cell)
+        store = ResultStore(tmp_path / "s")
+        store.record_ok(cell, result)
+
+        reloaded = ResultStore(tmp_path / "s")
+        assert len(reloaded) == 1
+        assert reloaded.get_run(cell.digest()) == result
+        [(back_cell, back_run)] = list(reloaded.iter_ok())
+        assert back_cell == cell and back_run == result
+
+    def test_failure_records(self, tmp_path):
+        cell = CellSpec.from_axes("nope", "Serial", "1g", None, 0)
+        store = ResultStore(tmp_path / "s")
+        store.record_failure(cell, "exception", "boom", attempts=3)
+        reloaded = ResultStore(tmp_path / "s")
+        assert reloaded.failed_digests() == [cell.digest()]
+        assert reloaded.get_run(cell.digest()) is None
+        assert reloaded.drop_failures() == 1
+        assert len(ResultStore(tmp_path / "s")) == 0
+
+    def test_truncated_record_quarantined_not_fatal(self, tmp_path):
+        cells = [CellSpec.from_axes(b, g, h, y, s, iterations=2)
+                 for b, g, h, y, s in TINY.cells()]
+        store = ResultStore(tmp_path / "s")
+        for cell in cells:
+            store.record_ok(cell, run_cell(cell))
+        # Simulate a kill mid-write: chop the last record line in half.
+        lines = store.records_path.read_text().splitlines(keepends=True)
+        store.records_path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+
+        reloaded = ResultStore(tmp_path / "s")
+        assert reloaded.quarantined_lines == 1
+        assert len(reloaded) == len(cells) - 1
+        # The corrupt line is compacted away: a further reopen is clean.
+        again = ResultStore(tmp_path / "s")
+        assert again.quarantined_lines == 0 and len(again) == len(cells) - 1
+
+    def test_garbage_lines_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        store.record_ok(cell, run_cell(cell))
+        with open(store.records_path, "a") as fh:
+            fh.write("not json at all\n{\"digest\": 1}\n")
+        reloaded = ResultStore(tmp_path / "s")
+        assert reloaded.quarantined_lines == 2
+        assert reloaded.ok_digests() == [cell.digest()]
+
+    def test_csv_matches_grid_result(self, tmp_path):
+        grid = run_grid(TINY)
+        store = ResultStore(tmp_path / "s")
+        for b, g, h, y, s in TINY.cells():
+            cell = CellSpec.from_axes(b, g, h, y, s, iterations=TINY.iterations)
+            store.record_ok(cell, grid.runs[cell.key()])
+        grid.to_csv(tmp_path / "grid.csv")
+        store.to_csv(tmp_path / "store.csv")
+        assert (tmp_path / "grid.csv").read_text() == (tmp_path / "store.csv").read_text()
+
+    def test_manifest_registry(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        spec = tiny_campaign()
+        entry = {"name": spec.name, "digest": spec.digest(),
+                 "spec": spec.to_dict(), "cells": spec.size}
+        store.register_campaign(entry)
+        store.register_campaign(entry)  # idempotent by digest
+        manifest = ResultStore(tmp_path / "s").read_manifest()
+        assert len(manifest["campaigns"]) == 1
+        assert CampaignSpec.from_dict(manifest["campaigns"][0]["spec"]).size == 2
+
+
+# ----------------------------------------------------------------------
+# CampaignSpec
+# ----------------------------------------------------------------------
+
+
+class TestCampaignSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignSpec("", [TINY])
+        with pytest.raises(ConfigError):
+            CampaignSpec("x", [])
+        with pytest.raises(ConfigError):
+            CampaignSpec("x", ["not a grid"])
+
+    def test_size_and_cells(self):
+        spec = CampaignSpec("x", [TINY, TINY])
+        assert spec.size == 4
+        per_grid = spec.cell_specs()
+        assert [len(cells) for cells in per_grid] == [2, 2]
+        assert per_grid[0] == per_grid[1]
+
+    def test_dict_round_trip(self):
+        spec = CampaignSpec("x", [TINY], overrides={"gc_threads": 2})
+        back = CampaignSpec.from_dict(spec.to_dict())
+        assert back.digest() == spec.digest()
+        assert back.cell_specs() == spec.cell_specs()
+
+
+# ----------------------------------------------------------------------
+# run_campaign
+# ----------------------------------------------------------------------
+
+
+class TestRunCampaign:
+    def test_matches_run_grid(self):
+        serial = run_grid(TINY)
+        campaign = run_campaign(tiny_campaign(), executor="serial")
+        assert campaign.grid(0).runs == serial.runs
+        assert campaign.stats.simulated == 2
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = tiny_campaign()
+        first = run_campaign(spec, store=tmp_path / "s", executor="serial")
+        second = run_campaign(spec, store=tmp_path / "s", executor="serial")
+        assert first.stats.simulated == 2 and first.stats.cached == 0
+        assert second.stats.simulated == 0 and second.stats.cached == 2
+        assert second.grid(0).runs == first.grid(0).runs
+        assert "cached 2/2" in second.stats.summary()
+
+    def test_partial_store_resumes(self, tmp_path):
+        spec = tiny_campaign()
+        store = ResultStore(tmp_path / "s")
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        store.record_ok(cell, run_cell(cell))
+        result = run_campaign(spec, store=store, executor="serial")
+        assert result.stats.cached == 1 and result.stats.simulated == 1
+        assert result.grid(0).runs == run_grid(TINY).runs
+
+    def test_duplicate_cells_simulated_once(self):
+        result = run_campaign(CampaignSpec("x", [TINY, TINY]), executor="serial")
+        assert result.stats.total == 2 and result.stats.simulated == 2
+        assert result.grids[0].runs == result.grids[1].runs
+
+    def test_worker_failures_quarantined_after_retries(self, tmp_path):
+        bad = GridSpec(benchmarks=["lusearch", "definitely-not-a-benchmark"],
+                       gcs=["Serial"], heaps=["1g"], youngs=["256m"],
+                       seeds=[0], iterations=2)
+        result = run_campaign(CampaignSpec("bad", [bad]),
+                              store=tmp_path / "s", executor="serial", retries=1)
+        assert result.stats.quarantined == 1
+        assert result.stats.retried == 1
+        assert result.stats.simulated == 1
+        [failure] = result.quarantined
+        assert failure.kind == "exception"
+        # Quarantine is persisted, and the good cell still resolved.
+        store = ResultStore(tmp_path / "s")
+        assert len(store.failed_digests()) == 1
+        assert len(result.grid(0).runs) == 1
+
+    def test_failed_records_retried_on_next_run(self, tmp_path):
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        store = ResultStore(tmp_path / "s")
+        store.record_failure(cell, "timeout", "budget", attempts=1)
+        result = run_campaign(tiny_campaign(), store=store, executor="serial")
+        # The previously failed cell is re-simulated, not served as a hit.
+        assert result.stats.simulated == 2 and result.stats.cached == 0
+
+    def test_reporter_counts(self, tmp_path):
+        ticks = iter(range(100))
+        reporter = ProgressReporter(0, stream=_Sink(),
+                                    clock=lambda: float(next(ticks)))
+        run_campaign(tiny_campaign(), store=tmp_path / "s", executor="serial",
+                     reporter=reporter)
+        assert (reporter.done, reporter.cached, reporter.failed) == (2, 0, 0)
+        reporter2 = ProgressReporter(0, stream=_Sink(),
+                                     clock=lambda: float(next(ticks)))
+        run_campaign(tiny_campaign(), store=tmp_path / "s", executor="serial",
+                     reporter=reporter2)
+        assert (reporter2.done, reporter2.cached) == (2, 2)
+
+    def test_invalid_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            run_campaign(tiny_campaign(), retries=-1)
+
+    def test_to_csv_concatenates_grids(self, tmp_path):
+        result = run_campaign(tiny_campaign(), executor="serial")
+        result.to_csv(tmp_path / "c.csv")
+        lines = (tmp_path / "c.csv").read_text().splitlines()
+        assert len(lines) == 1 + 2 and lines[0].startswith("benchmark,")
+
+
+# ----------------------------------------------------------------------
+# ProgressReporter
+# ----------------------------------------------------------------------
+
+
+class _Sink:
+    def __init__(self):
+        self.text = ""
+
+    def write(self, s):
+        self.text += s
+
+    def flush(self):
+        pass
+
+
+class TestProgressReporter:
+    def test_counts_and_line(self):
+        sink = _Sink()
+        clock = iter(float(i) for i in range(10))
+        reporter = ProgressReporter(4, stream=sink, clock=lambda: next(clock))
+        reporter.advance()
+        reporter.advance(cached=True)
+        reporter.advance(failed=True)
+        line = reporter.line()
+        assert "3/4" in line and "1 cached" in line and "1 failed" in line
+        assert "ETA" in line
+        reporter.finish()
+        assert "3/4" in sink.text
+
+    def test_eta_projection(self):
+        clock = iter([0.0, 2.0, 2.0])  # start, advance, eta query
+        reporter = ProgressReporter(4, stream=_Sink(), clock=lambda: next(clock))
+        reporter.start()
+        reporter.done = 1  # bypass rendering's clock reads
+        assert reporter.eta_seconds() == pytest.approx(6.0)  # 3 left x 2s/cell
+
+    def test_no_eta_before_progress(self):
+        reporter = ProgressReporter(4, stream=_Sink(), clock=lambda: 0.0)
+        assert reporter.eta_seconds() is None
+        reporter.start()
+        assert reporter.eta_seconds() is None
+
+
+# ----------------------------------------------------------------------
+# Campaign summary rendering
+# ----------------------------------------------------------------------
+
+
+class TestCampaignSummary:
+    def test_render(self):
+        from repro.analysis.report import render_campaign_summary
+
+        result = run_campaign(tiny_campaign(), executor="serial")
+        text = render_campaign_summary(result)
+        assert "campaign 'tiny'" in text
+        assert "cached 0/2" in text
+        assert "grid 0: 2 cells" in text

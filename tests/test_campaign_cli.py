@@ -1,0 +1,116 @@
+"""Tests for the ``repro-campaign`` command-line interface."""
+
+import pytest
+
+from repro.cli import campaign_main, dacapo_main
+
+BASE = ["--benchmarks", "lusearch", "--gcs", "Serial", "ParallelOld",
+        "--heaps", "1g", "--youngs", "256m", "--seeds", "0",
+        "--iterations", "2"]
+
+
+def run_args(store, *extra):
+    return (["run", "--name", "smoke", "--store", str(store)]
+            + BASE + ["--executor", "serial"] + list(extra))
+
+
+class TestRunCommand:
+    def test_run_then_cached_rerun(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert campaign_main(run_args(store)) == 0
+        out = capsys.readouterr().out
+        assert "simulated 2, cached 0/2" in out
+
+        assert campaign_main(run_args(store)) == 0
+        out = capsys.readouterr().out
+        assert "simulated 0, cached 2/2" in out
+
+    def test_process_executor_and_csv(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        csv_path = tmp_path / "out.csv"
+        args = (["run", "--name", "smoke", "--store", str(store)] + BASE
+                + ["--executor", "process", "--workers", "2",
+                   "--csv", str(csv_path)])
+        assert campaign_main(args) == 0
+        assert csv_path.exists()
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 3 and lines[0].startswith("benchmark,")
+
+    def test_uncached_run_without_store(self, capsys):
+        args = ["run", "--name", "x"] + BASE + ["--executor", "serial"]
+        assert campaign_main(args) == 0
+        assert "cached 0/2" in capsys.readouterr().out
+
+    def test_quarantine_sets_exit_code(self, tmp_path, capsys):
+        args = (["run", "--name", "bad", "--store", str(tmp_path / "s"),
+                 "--benchmarks", "definitely-not-a-benchmark",
+                 "--gcs", "Serial", "--heaps", "1g", "--seeds", "0",
+                 "--iterations", "1", "--executor", "serial",
+                 "--retries", "0"])
+        assert campaign_main(args) == 1
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_progress_flag(self, tmp_path, capsys):
+        assert campaign_main(run_args(tmp_path / "s", "--progress")) == 0
+        err = capsys.readouterr().err
+        assert "cells 2/2" in err
+
+    def test_empty_axis_rejected(self, tmp_path, capsys):
+        args = (["run", "--name", "x", "--benchmarks", "lusearch",
+                 "--gcs", "Serial", "--heaps", "1g",
+                 "--seeds", "--executor", "serial"])
+        # argparse requires at least one value for nargs="+"
+        with pytest.raises(SystemExit):
+            campaign_main(args)
+
+
+class TestStatusResumeClean:
+    @pytest.fixture()
+    def populated_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        campaign_main(run_args(store))
+        capsys.readouterr()
+        return store
+
+    def test_status(self, populated_store, capsys):
+        assert campaign_main(["status", "--store", str(populated_store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 records" in out and "smoke" in out
+
+    def test_resume_uses_manifest_spec(self, populated_store, capsys):
+        assert campaign_main(["resume", "--store", str(populated_store),
+                              "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming campaign 'smoke'" in out
+        assert "cached 2/2" in out
+
+    def test_resume_empty_store_fails(self, tmp_path, capsys):
+        assert campaign_main(["resume", "--store", str(tmp_path / "empty"),
+                              "--executor", "serial"]) == 2
+
+    def test_resume_unknown_name_fails(self, populated_store, capsys):
+        assert campaign_main(["resume", "--store", str(populated_store),
+                              "--name", "nope", "--executor", "serial"]) == 2
+
+    def test_clean_failures_only(self, populated_store, capsys):
+        assert campaign_main(["clean", "--store", str(populated_store),
+                              "--failures-only"]) == 0
+        assert "dropped 0 failure record(s)" in capsys.readouterr().out
+        # ok records survive: rerun is still fully cached
+        campaign_main(run_args(populated_store))
+        assert "cached 2/2" in capsys.readouterr().out
+
+    def test_clean_all(self, populated_store, capsys):
+        assert campaign_main(["clean", "--store", str(populated_store)]) == 0
+        assert "dropped all 2 record(s)" in capsys.readouterr().out
+        campaign_main(run_args(populated_store))
+        assert "cached 0/2" in capsys.readouterr().out
+
+
+class TestDaCapoProgress:
+    def test_progress_reports_iterations(self, capsys):
+        rc = dacapo_main(["lusearch", "-n", "2", "--heap", "1g",
+                          "--young", "256m", "--progress"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "iterations 1/2" in err and "iterations 2/2" in err

@@ -34,6 +34,20 @@ class TestGridSpec:
         with pytest.raises(ConfigError):
             GridSpec(benchmarks=[], gcs=["x"])
 
+    def test_all_empty_axes_rejected(self):
+        # Empty youngs/seeds used to silently yield a zero-cell grid.
+        base = dict(benchmarks=["a"], gcs=["x"], heaps=[1],
+                    youngs=[None], seeds=[0])
+        for axis in base:
+            kw = dict(base)
+            kw[axis] = []
+            with pytest.raises(ConfigError, match=axis):
+                GridSpec(**kw)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigError):
+            GridSpec(benchmarks=["a"], iterations=0)
+
 
 class TestRunGrid:
     def test_all_cells_present(self, small_grid):
@@ -85,6 +99,40 @@ class TestRunGrid:
     def test_values_metric(self, small_grid):
         pauses = small_grid.values(lambda r: r.gc_log.count, benchmark="lusearch")
         assert len(pauses) == 4
+
+    def test_unknown_benchmark_still_raises(self):
+        spec = GridSpec(benchmarks=["no-such-benchmark"], gcs=["Serial"],
+                        heaps=["1g"], iterations=1)
+        with pytest.raises(ConfigError):
+            run_grid(spec)
+
+
+class TestExecutorInjection:
+    """run_grid delegates to run_cell + executor; results stay identical."""
+
+    def test_process_executor_matches_serial(self, small_grid):
+        from repro.campaign import ProcessExecutor
+
+        parallel = run_grid(small_grid.spec, executor=ProcessExecutor(workers=2))
+        assert parallel.runs == small_grid.runs
+        assert parallel.to_rows() == small_grid.to_rows()
+
+    def test_campaign_matches_serial_run_grid(self, small_grid):
+        from repro.campaign import CampaignSpec, run_campaign
+
+        campaign = run_campaign(CampaignSpec("det", [small_grid.spec]),
+                                executor="process", workers=2)
+        assert campaign.grid(0).runs == small_grid.runs
+        assert campaign.grid(0).winners().ordered() == small_grid.winners().ordered()
+
+    def test_progress_callback_with_executor(self):
+        from repro.campaign import ProcessExecutor
+
+        seen = []
+        spec = GridSpec(benchmarks=["batik"], gcs=["Serial"], heaps=["1g"],
+                        youngs=["256m"], iterations=2)
+        run_grid(spec, progress=seen.append, executor=ProcessExecutor(workers=1))
+        assert len(seen) == 1 and isinstance(seen[0], CellKey)
 
 
 class TestSerialization:

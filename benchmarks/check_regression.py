@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Fail CI when the bench subset regresses against the committed baseline.
+
+Compares a ``BENCH_pr.json`` report (from ``benchmarks/run_perf.py``)
+against ``benchmarks/baseline.json``:
+
+* **wall-clock** — each bench may be at most ``--threshold`` (default
+  25%) slower than the baseline. Wall times are machine-dependent, so
+  the committed baseline must come from the same class of machine as CI
+  (regenerate with ``--update`` when the runner or the workload grid
+  changes).
+* **simulated pause percentiles** — the simulator is deterministic, so
+  these must match the baseline *exactly*, on any machine. A mismatch
+  means behaviour changed; it is reported as a warning by default
+  (``--strict-sim`` turns it into a failure) because intentional model
+  changes also move these numbers — update the baseline alongside such
+  a change.
+
+Exit status: 0 ok, 1 regression (or sim drift under ``--strict-sim``),
+2 usage/baseline errors.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def _load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def compare(current: dict, baseline: dict, threshold: float):
+    """Return (regressions, sim_drift, lines) comparing two reports."""
+    regressions, drift, lines = [], [], []
+    base_benches = baseline.get("benches", {})
+    for name, cur in sorted(current.get("benches", {}).items()):
+        base = base_benches.get(name)
+        if base is None:
+            lines.append(f"  {name}: {cur['wall_s']:.2f}s (new bench, no baseline)")
+            continue
+        ratio = cur["wall_s"] / base["wall_s"] if base["wall_s"] else float("inf")
+        delta = (ratio - 1.0) * 100.0
+        flag = ""
+        if ratio > 1.0 + threshold:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        lines.append(f"  {name}: {cur['wall_s']:.2f}s vs {base['wall_s']:.2f}s "
+                     f"baseline ({delta:+.1f}%){flag}")
+    for name in sorted(set(base_benches) - set(current.get("benches", {}))):
+        lines.append(f"  {name}: missing from current report (baseline has it)")
+
+    base_traces = baseline.get("traces", {})
+    for label, cur in sorted(current.get("traces", {}).items()):
+        base = base_traces.get(label)
+        if base is None:
+            continue
+        for key in ("pause_ms", "pauses", "events"):
+            if cur.get(key) != base.get(key):
+                drift.append(f"{label}.{key}: {base.get(key)} -> {cur.get(key)}")
+    return regressions, drift, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_pr.json from run_perf.py")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline (default: benchmarks/baseline.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max allowed wall-clock slowdown fraction (default 0.25)")
+    parser.add_argument("--strict-sim", action="store_true",
+                        help="fail (not warn) when simulated percentiles drift")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current report and exit")
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated from {args.current} -> {args.baseline}")
+        return 0
+
+    baseline = _load(args.baseline)
+    regressions, drift, lines = compare(current, baseline, args.threshold)
+    print(f"wall-clock vs baseline (threshold +{args.threshold * 100:.0f}%):")
+    for line in lines:
+        print(line)
+    if drift:
+        kind = "error" if args.strict_sim else "warning"
+        print(f"{kind}: simulated results drifted from baseline "
+              "(model change? regenerate with --update):")
+        for d in drift:
+            print(f"  {d}")
+    if not current.get("healthy", True):
+        print("error: current report is unhealthy (telemetry smoke checks failed)",
+              file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"error: wall-clock regression in: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    if drift and args.strict_sim:
+        return 1
+    print("ok: no wall-clock regression"
+          + ("" if not drift else " (sim drift warnings above)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

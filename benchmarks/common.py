@@ -33,9 +33,12 @@ def campaign_opts():
     :func:`repro.campaign.run_campaign` instead of in-process serial
     loops: cells fan out across cores (``REPRO_CAMPAIGN_WORKERS`` sizes
     the pool, default one per core) and results are cached
-    content-addressed under ``benchmarks/out/campaign-store``, so
-    re-running a bench — or sharing cells between quick and full grids —
-    skips completed work. Results are bit-identical to the serial path.
+    content-addressed under ``benchmarks/out/campaign-store``
+    (``REPRO_CAMPAIGN_STORE`` overrides the location — the perf pipeline
+    points it at a throwaway directory so wall-clock numbers are never
+    cache-skewed), so re-running a bench — or sharing cells between
+    quick and full grids — skips completed work. Results are
+    bit-identical to the serial path.
 
     Returns ``run_campaign`` keyword arguments, or ``None`` when the
     backend is not enabled.
@@ -43,8 +46,9 @@ def campaign_opts():
     if os.environ.get("REPRO_CAMPAIGN", "") in ("", "0", "false"):
         return None
     workers = os.environ.get("REPRO_CAMPAIGN_WORKERS", "")
+    store = os.environ.get("REPRO_CAMPAIGN_STORE", "") or OUT_DIR / "campaign-store"
     return {
-        "store": OUT_DIR / "campaign-store",
+        "store": store,
         "executor": "process",
         "workers": int(workers) if workers else None,
     }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""CI perf pipeline: run the pinned bench subset and the telemetry
+smoke checks, then write one machine-readable report (``BENCH_pr.json``).
+
+The report combines two kinds of numbers:
+
+* **wall-clock** per bench file, measured by pytest-benchmark in a
+  subprocess (this script itself never reads a clock — the simulator
+  tree is linted against wall-clock APIs, see ``repro.lint``);
+* **simulated** pause percentiles from a traced ``repro-trace record``
+  run — these are deterministic, so the regression checker can compare
+  them exactly across machines.
+
+The traced run is performed twice with the same seed and the two trace
+files are compared byte-for-byte; the Chrome export is validated against
+the trace_event schema. Either failing marks the report unhealthy and
+the script exits non-zero.
+
+Usage::
+
+    python benchmarks/run_perf.py --output BENCH_pr.json
+    python benchmarks/check_regression.py BENCH_pr.json
+"""
+
+import argparse
+import filecmp
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Report format version; bump on incompatible change.
+BENCH_SCHEMA_VERSION = 1
+
+#: The pinned CI subset: one figure-1 run, the figure-3 ranking grid
+#: (through the campaign backend, fresh store each time so wall-clock
+#: is not cache-skewed), and the Tables 5-7 latency statistics.
+BENCHES = (
+    ("fig1_xalan_pauses", "bench_fig1_xalan_pauses.py", {}),
+    ("fig3_ranking", "bench_fig3_ranking.py", {"REPRO_CAMPAIGN": "1"}),
+    ("tables567_latency_stats", "bench_tables567_latency_stats.py", {}),
+)
+
+#: Pinned traced runs: (label, repro-trace record argv tail).
+TRACED = (
+    ("xalan-CMS-seed1",
+     ["xalan", "-n", "10", "--gc", "CMS", "--seed", "1"]),
+    ("xalan-G1-seed1",
+     ["xalan", "-n", "10", "--gc", "G1", "--seed", "1"]),
+)
+
+_PAUSE_QS = (50.0, 90.0, 99.0, 100.0)
+
+
+def _bench_env(extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra)
+    return env
+
+
+def run_benches(tmp: pathlib.Path) -> dict:
+    """Run each bench file under pytest-benchmark; return wall-clock stats."""
+    out = {}
+    for label, fname, extra_env in BENCHES:
+        json_path = tmp / f"{label}.pytest-benchmark.json"
+        env = _bench_env(extra_env)
+        if "REPRO_CAMPAIGN" in extra_env:
+            # Fresh store per invocation: cache hits would zero the timing.
+            env["REPRO_CAMPAIGN_STORE"] = str(tmp / f"{label}-store")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(ROOT / "benchmarks" / fname),
+             "--benchmark-json", str(json_path), "-q"],
+            cwd=str(ROOT), env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout)
+            raise SystemExit(f"bench {label} failed (exit {proc.returncode})")
+        doc = json.loads(json_path.read_text())
+        total = sum(b["stats"]["total"] for b in doc["benchmarks"])
+        out[label] = {"wall_s": round(total, 4)}
+        print(f"bench {label}: {total:.2f}s wall")
+    return out
+
+
+def run_traced(tmp: pathlib.Path) -> dict:
+    """Record each pinned traced run twice; check determinism + export."""
+    from repro.telemetry import read_trace, to_chrome, validate_chrome
+    from repro.telemetry.cli import main as trace_main
+
+    out = {}
+    for label, argv in TRACED:
+        a = tmp / f"{label}.a.trace.jsonl"
+        b = tmp / f"{label}.b.trace.jsonl"
+        chrome = tmp / f"{label}.chrome.json"
+        for path in (a, b):
+            rc = trace_main(["record", *argv, "-o", str(path)])
+            if rc != 0:
+                raise SystemExit(f"repro-trace record failed for {label} (exit {rc})")
+        identical = filecmp.cmp(str(a), str(b), shallow=False)
+        rc = trace_main(["export", str(a), "--format", "chrome", "-o", str(chrome)])
+        if rc != 0:
+            raise SystemExit(f"repro-trace export failed for {label} (exit {rc})")
+        problems = validate_chrome(json.loads(chrome.read_text()))
+        trace = read_trace(str(a))
+        hist = trace.pause_hist
+        out[label] = {
+            "events": trace.summary.get("events_emitted", len(trace.events)),
+            "dropped": trace.dropped,
+            "byte_identical": identical,
+            "chrome_valid": not problems,
+            "chrome_events": len(to_chrome(trace)["traceEvents"]),
+            "pauses": hist.total_count,
+            "pause_ms": {f"p{q:g}": round(hist.percentile(q) * 1e3, 6)
+                         for q in _PAUSE_QS},
+        }
+        status = "ok" if identical and not problems else "UNHEALTHY"
+        print(f"trace {label}: {out[label]['events']} events, "
+              f"p99 pause {out[label]['pause_ms']['p99']}ms [{status}]")
+        for p in problems:
+            print(f"  chrome-validate: {p}")
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", default="BENCH_pr.json",
+                        help="report path (default: BENCH_pr.json)")
+    parser.add_argument("--skip-benches", action="store_true",
+                        help="only run the telemetry smoke checks")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(ROOT / "src"))
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+        report = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "benches": {} if args.skip_benches else run_benches(tmp),
+            "traces": run_traced(tmp),
+        }
+    healthy = all(t["byte_identical"] and t["chrome_valid"] and t["dropped"] == 0
+                  for t in report["traces"].values())
+    report["healthy"] = healthy
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"report written to {args.output}")
+    if not healthy:
+        print("telemetry smoke checks FAILED (see 'traces' in the report)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

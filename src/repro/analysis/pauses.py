@@ -82,12 +82,14 @@ def heap_occupancy_series(log: GCLog) -> Tuple[np.ndarray, np.ndarray]:
 def pause_percentiles(log: GCLog, qs=(50, 90, 99, 100)) -> dict:
     """Pause-duration percentiles (keys ``"p50"``... ``"p100"``).
 
+    Computed from the log's fixed-precision
+    :class:`~repro.telemetry.hist.LogHistogram` — the one audited
+    percentile implementation shared with the latency tables and
+    ``repro-trace`` — so values are rank-based with a bounded relative
+    error (≤ the histogram's bucket width) rather than interpolated.
     Empty logs yield zeros, so reports can be built unconditionally.
     """
-    d = log.durations()
-    if d.size == 0:
-        return {f"p{q}": 0.0 for q in qs}
-    return {f"p{q}": float(np.percentile(d, q)) for q in qs}
+    return {f"p{q:g}": log.pause_hist.percentile(q) for q in qs}
 
 
 def inter_pause_intervals(log: GCLog) -> np.ndarray:

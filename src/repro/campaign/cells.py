@@ -110,7 +110,7 @@ class CellSpec:
         return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def run_cell(cell: CellSpec) -> RunResult:
+def run_cell(cell: CellSpec, trace_dir: Optional[str] = None) -> RunResult:
     """Execute one cell from scratch and return its :class:`RunResult`.
 
     Pure in the campaign sense: no shared state, no ambient
@@ -118,7 +118,16 @@ def run_cell(cell: CellSpec) -> RunResult:
     crashes (OOM, crashing benchmarks) come back as ``crashed`` results;
     any *raised* exception is an infrastructure failure the runner
     retries and eventually quarantines.
+
+    With *trace_dir*, the run is traced and the telemetry trace written
+    to ``<trace_dir>/<digest>.trace.jsonl`` — content-addressed by the
+    same digest as the result store, so a cell's trace and its cached
+    result always refer to the same simulation. The trace does not enter
+    the cell's identity: results stay cache-compatible with untraced
+    runs (tracing is observation, not configuration).
     """
+    import os
+
     from ..heap.tlab import TLABConfig
     from ..workloads.dacapo import get_benchmark
 
@@ -127,9 +136,22 @@ def run_cell(cell: CellSpec) -> RunResult:
         tlab=TLABConfig(enabled=cell.tlab_enabled),
         **dict(cell.overrides),
     )
-    jvm = JVM(config)
-    return jvm.run(get_benchmark(cell.benchmark),
-                   iterations=cell.iterations, system_gc=cell.system_gc)
+    tracer = None
+    if trace_dir is not None:
+        from ..telemetry import Tracer
+
+        tracer = Tracer(meta={"benchmark": cell.benchmark,
+                              "cell_digest": cell.digest()})
+    jvm = JVM(config, tracer=tracer)
+    result = jvm.run(get_benchmark(cell.benchmark),
+                     iterations=cell.iterations, system_gc=cell.system_gc)
+    if tracer is not None:
+        from ..telemetry import write_trace
+
+        os.makedirs(trace_dir, exist_ok=True)
+        write_trace(tracer, os.path.join(
+            trace_dir, f"{cell.digest()}.trace.jsonl"))
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -64,6 +64,10 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     ex.add_argument("--progress", action="store_true",
                     help="live progress (done/cached/failed, ETA) on stderr")
     ex.add_argument("--csv", default=None, help="export all cells to a CSV file")
+    ex.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="write one telemetry trace per simulated cell to "
+                         "DIR/<digest>.trace.jsonl (compare cells with "
+                         "`repro-trace diff`)")
 
 
 def _spec_from_args(args) -> CampaignSpec:
@@ -85,6 +89,7 @@ def _execute(spec: CampaignSpec, args, store: Optional[ResultStore]) -> int:
     result = run_campaign(
         spec, store=store, executor=args.executor, workers=args.workers,
         timeout=args.timeout, retries=args.retries, reporter=reporter,
+        trace_dir=args.trace_dir,
     )
     _report(result, csv_path=args.csv)
     return 1 if result.stats.quarantined else 0

@@ -22,6 +22,7 @@ produce identical ``GridResult``s (asserted in ``tests/test_campaign.py``).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -96,13 +97,17 @@ def run_campaign(spec: CampaignSpec, *,
                  workers: Optional[int] = None,
                  timeout: Optional[float] = None,
                  retries: int = 2,
-                 reporter: Optional[ProgressReporter] = None) -> CampaignResult:
+                 reporter: Optional[ProgressReporter] = None,
+                 trace_dir: Optional[str] = None) -> CampaignResult:
     """Run (or resume) *spec* and return its :class:`CampaignResult`.
 
     *store* may be a :class:`ResultStore`, a directory path, or None for
     a purely in-memory run (no caching, no resumability). *executor* is
     an executor name (``serial``/``process``) or a ready instance;
-    *workers* sizes the process pool (default: one per core).
+    *workers* sizes the process pool (default: one per core). With
+    *trace_dir*, every simulated cell also writes a telemetry trace to
+    ``<trace_dir>/<digest>.trace.jsonl`` (cache hits don't re-trace —
+    re-run after ``clean`` to trace everything).
     """
     if retries < 0:
         raise ConfigError("retries must be >= 0")
@@ -145,11 +150,17 @@ def run_campaign(spec: CampaignSpec, *,
             pending.append(cell)
 
     # -- execute with bounded retries ----------------------------------
+    if trace_dir is not None:
+        # functools.partial keeps the cell function picklable for the
+        # process executor (a lambda would not ship to workers).
+        cell_fn = functools.partial(run_cell, trace_dir=trace_dir)
+    else:
+        cell_fn = run_cell
     quarantined: List[CellFailure] = []
     attempt = 0
     while pending:
         failures: List[CellFailure] = []
-        for cell, outcome in executor.run_cells(pending, run_cell, timeout=timeout):
+        for cell, outcome in executor.run_cells(pending, cell_fn, timeout=timeout):
             if isinstance(outcome, CellFailure):
                 failures.append(outcome)
                 continue

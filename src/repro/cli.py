@@ -13,7 +13,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-lint``      — static determinism/invariant analysis over the
   source tree (see :mod:`repro.lint`);
 * ``repro-campaign``  — parallel, cached, resumable experiment-grid
-  campaigns (see :mod:`repro.campaign`).
+  campaigns (see :mod:`repro.campaign`);
+* ``repro-trace``     — record/report/export/diff JFR-style telemetry
+  traces (see :mod:`repro.telemetry`).
 
 ``repro-dacapo --audit`` additionally attaches the runtime
 :class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
@@ -75,10 +77,18 @@ def dacapo_main(argv: Optional[List[str]] = None) -> int:
                              "(VerifyBeforeGC/VerifyAfterGC analogue)")
     parser.add_argument("--progress", action="store_true",
                         help="live iteration progress (done/total, ETA) on stderr")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace (JFR analogue; "
+                             "inspect with repro-trace report/export)")
     _jvm_args(parser)
     args = parser.parse_args(argv)
 
-    jvm = JVM(_build_config(args))
+    tracer = None
+    if args.trace:
+        from .telemetry import Tracer
+
+        tracer = Tracer()
+    jvm = JVM(_build_config(args), tracer=tracer)
     auditor = None
     if args.audit:
         from .lint import InvariantAuditor
@@ -109,6 +119,12 @@ def dacapo_main(argv: Optional[List[str]] = None) -> int:
         with open(args.gc_log, "w") as fh:
             fh.write(format_gc_log(result.gc_log, jvm.config.heap_bytes))
         print(f"GC log written to {args.gc_log}")
+    if tracer is not None:
+        from .telemetry import write_trace
+
+        write_trace(tracer, args.trace)
+        print(f"trace written to {args.trace} ({tracer.seq} events, "
+              f"{tracer.ring.dropped} dropped)")
     if auditor is not None:
         print(auditor.summary())
         for violation in auditor.violations:
@@ -264,6 +280,13 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
 def campaign_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-campaign``: cached parallel grid sweeps."""
     from .campaign.cli import main
+
+    return main(argv)
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-trace``: record/report/export/diff traces."""
+    from .telemetry.cli import main
 
     return main(argv)
 

@@ -31,6 +31,7 @@ from ..errors import ConfigError
 from ..heap.heap import CollectionVolumes, GenerationalHeap
 from ..machine.costs import CostModel
 from ..seeding import rng_for
+from ..telemetry.tracer import NULL_TRACER
 from .stats import ConcurrentRecord
 
 
@@ -132,6 +133,8 @@ class Collector(ABC):
         self.rng = rng if rng is not None else rng_for(self.name, "collector-default")
         self.noise = float(noise)
         self._tenuring = self.tenuring_threshold
+        #: Telemetry sink (the JVM swaps in a live tracer when requested).
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # JVM-facing protocol
@@ -210,11 +213,16 @@ class Collector(ABC):
         # Adaptive tenuring (TargetSurvivorRatio): tenure earlier when the
         # survivor space runs hot, relax back toward the configured
         # threshold when it has room.
+        tenuring_before = self._tenuring
         target = self.target_survivor_ratio * self.heap.survivor.capacity
         if vol.copied_to_survivor > target:
             self._tenuring = max(1, self._tenuring - 2)
         elif self._tenuring < self.tenuring_threshold:
             self._tenuring += 1
+        if self._tenuring != tenuring_before:
+            self.tracer.tenuring_adapt(now, tenuring_before, self._tenuring)
+        if vol.promoted > 0:
+            self.tracer.promotion(now, vol.promoted, vol.promoted_small)
         duration = self.young_pause_duration(vol) * self._jitter()
         pause = STWPause("young", cause, duration, vol)
         vol_after = self.heap.used

@@ -145,6 +145,7 @@ class ConcurrentMarkSweepGC(Collector):
         """Concurrent mode failure: abort the cycle, serial compacting GC."""
         self._state = "idle"
         self._cycle_gen += 1
+        self.tracer.annotate(now, "concurrent_mode_failure")
         return self._full(now, "Concurrent Mode Failure")
 
     def explicit_gc(self, now: float) -> Outcome:

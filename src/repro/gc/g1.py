@@ -94,14 +94,14 @@ class G1GC(Collector):
         if vol.promotion_failed:
             outcome.pauses.append(self._promotion_failure_full(now))
         self.after_minor(now, vol, outcome)
-        self._adapt_young(pause.duration)
+        self._adapt_young(now, pause.duration)
         return outcome
 
     # ------------------------------------------------------------------
     # Pause-target-driven young sizing
     # ------------------------------------------------------------------
 
-    def _adapt_young(self, observed_pause: float) -> None:
+    def _adapt_young(self, now: float, observed_pause: float) -> None:
         """Resize young toward the pause target.
 
         A multiplicative controller: if the last evacuation beat the
@@ -126,6 +126,8 @@ class G1GC(Collector):
         target_young = self.regions.bytes_for(
             max(1, self.regions.regions_for(target_young))
         )
+        if target_young != current:
+            self.tracer.heap_resize(now, "young", current, target_young)
         self.heap.resize_young(target_young)
 
     # ------------------------------------------------------------------
@@ -237,6 +239,7 @@ class G1GC(Collector):
         self._state = "idle"
         self._cycle_gen += 1
         self._mixed_remaining = 0
+        self.tracer.annotate(now, "to_space_exhausted")
         return self._full(now, "To-space Exhausted")
 
     def explicit_gc(self, now: float) -> Outcome:

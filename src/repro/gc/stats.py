@@ -14,6 +14,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..telemetry.hist import LogHistogram
+
 
 @dataclass(frozen=True)
 class PauseRecord:
@@ -60,10 +62,21 @@ class GCLog:
 
     pauses: List[PauseRecord] = field(default_factory=list)
     concurrent: List[ConcurrentRecord] = field(default_factory=list)
+    #: Fixed-precision duration histogram, maintained incrementally —
+    #: the audited source of every pause percentile (Tables 5-7, the
+    #: pause reports). Derived state: rebuilt when a log is constructed
+    #: from an existing pause list (codec round-trips, sub-logs).
+    pause_hist: LogHistogram = field(default_factory=LogHistogram)
+
+    def __post_init__(self):
+        if self.pauses and self.pause_hist.total_count == 0:
+            for p in self.pauses:
+                self.pause_hist.record(p.duration)
 
     def record(self, pause: PauseRecord) -> None:
         """Append a pause record."""
         self.pauses.append(pause)
+        self.pause_hist.record(pause.duration)
 
     def record_concurrent(self, rec: ConcurrentRecord) -> None:
         """Append a concurrent-phase record."""

@@ -29,13 +29,23 @@ _LINE_RE = re.compile(
 
 
 def format_pause(p: PauseRecord, heap_capacity: float) -> str:
-    """Render one pause as a GC-log line."""
+    """Render one pause as a GC-log line.
+
+    Durations print with seven decimals (0.1 µs). The historical ``.4f``
+    rounded to 0.1 ms — re-parsing a log then shifted sub-millisecond
+    pauses across bucket boundaries of the telemetry histogram, so the
+    percentiles of a round-tripped log disagreed with the in-memory
+    :attr:`~repro.gc.stats.GCLog.pause_hist` (the source of truth). At
+    0.1 µs the text round-trip is finer than the histogram's bucket
+    resolution and the percentiles match within one bucket width
+    (``tests/test_telemetry.py`` pins this).
+    """
     major = "Full GC" if p.is_full else "GC"
     return (
         f"{p.start:.3f}: [{major} ({p.cause}) "
         f"[{p.collector}: {p.kind}] "
         f"{p.heap_used_before / MB:.0f}M->{p.heap_used_after / MB:.0f}M"
-        f"({heap_capacity / MB:.0f}M), {p.duration:.4f} secs]"
+        f"({heap_capacity / MB:.0f}M), {p.duration:.7f} secs]"
     )
 
 

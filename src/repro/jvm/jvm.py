@@ -81,13 +81,15 @@ class JVM:
     per-instance and a JVM cannot be reused after :meth:`run`.
     """
 
-    def __init__(self, config: JVMConfig):
+    def __init__(self, config: JVMConfig, tracer=None):
         self.config = config
         self.engine = Engine()
         # Mix the collector into the seed: separate JVM invocations (one per
         # GC in the paper's methodology) have independent noise.
         from ..seeding import rng_for
+        from ..telemetry.tracer import NULL_TRACER
 
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rng = rng_for(config.seed, config.gc.value, "jvm")
         self.costs = CostModel(topology=config.topology)
         self.heap = GenerationalHeap(
@@ -112,6 +114,19 @@ class JVM:
             self.engine, self.heap, self.collector, self.costs,
             self.gc_log, config.topology.cores,
         )
+        if self.tracer.enabled:
+            self.engine.tracer = self.tracer
+            self.world.tracer = self.tracer
+            self.collector.tracer = self.tracer
+            self.tracer.meta.update({
+                "gc": config.gc.value,
+                "heap_bytes": config.heap_bytes,
+                "young_bytes": (float(config.young)
+                                if config.young is not None else None),
+                "seed": config.seed,
+                "tlab": config.tlab.enabled,
+                "topology": config.topology.name,
+            })
         self._contexts: List[MutatorContext] = []
         self._ran = False
 
@@ -204,6 +219,9 @@ class JVM:
         if self._ran:
             raise ReproError("a JVM instance can only run once; create a new one")
         self._ran = True
+        if self.tracer.enabled:
+            self.tracer.meta.setdefault(
+                "workload", getattr(workload, "name", str(workload)))
         result = RunResult(
             workload=getattr(workload, "name", str(workload)),
             config=self.config,

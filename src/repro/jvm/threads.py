@@ -29,6 +29,7 @@ from ..gc.base import Outcome
 from ..gc.stats import GCLog, PauseRecord
 from ..heap.lifetime import LifetimeDistribution
 from ..sim import Engine, Interrupt
+from ..telemetry.tracer import NULL_TRACER
 from ..units import KB
 
 
@@ -47,6 +48,8 @@ class World:
         self._resume_event = None
         self.mutators: List["MutatorContext"] = []
         self.total_stw_time = 0.0
+        #: Telemetry sink (the JVM swaps in a live tracer when requested).
+        self.tracer = NULL_TRACER
         #: Logical application threads represented by each mutator process.
         #: Workloads may simulate k threads per process ("thread groups")
         #: for speed; CPU sharing and allocation contention stay faithful
@@ -108,11 +111,14 @@ class World:
                 return
         self.gc_in_progress = True
         self.stw = True
+        sp_start = engine.now
+        threads = self.logical_threads()
+        self.tracer.safepoint_begin(sp_start, threads)
         self._resume_event = engine.event()
         for m in self.mutators:
             if m is not current and m.alive and not m.parked:
                 m.process.interrupt("safepoint")
-        tts = self.costs.time_to_safepoint(self.logical_threads())
+        tts = self.costs.time_to_safepoint(threads)
         yield engine.timeout(tts)
         try:
             outcome = trigger(engine.now)
@@ -120,6 +126,7 @@ class World:
         finally:
             self.stw = False
             self.gc_in_progress = False
+            self.tracer.safepoint_end(engine.now, engine.now - sp_start, threads)
             event, self._resume_event = self._resume_event, None
             event.succeed()
 
@@ -129,6 +136,8 @@ class World:
             start = engine.now
             yield engine.timeout(pause.duration)
             vol = pause.volumes
+            heap_before = (self.heap.used + vol.total_freed) if vol else self.heap.used
+            heap_after = self.heap.used
             self.gc_log.record(
                 PauseRecord(
                     start=start,
@@ -136,14 +145,21 @@ class World:
                     kind=pause.kind,
                     cause=pause.cause,
                     collector=self.collector.name,
-                    heap_used_before=(self.heap.used + vol.total_freed) if vol else self.heap.used,
-                    heap_used_after=self.heap.used,
+                    heap_used_before=heap_before,
+                    heap_used_after=heap_after,
                     promoted=vol.promoted if vol else 0.0,
                 )
+            )
+            self.tracer.gc_phase(
+                start, pause.duration, pause.kind, pause.cause,
+                self.collector.name, vol.promoted if vol else 0.0,
+                heap_before, heap_after,
             )
             self.total_stw_time += pause.duration
         for rec in outcome.concurrent:
             self.gc_log.record_concurrent(rec)
+            self.tracer.concurrent_phase(rec.start, rec.duration, rec.phase,
+                                         rec.collector)
         for delay, fn in outcome.schedule:
             engine.process(self._scheduled_continuation(delay, fn))
 
@@ -296,6 +312,11 @@ class MutatorContext:
             tlab_size=heap.tlabs.tlab_size or 1.0,
             n_threads=world.logical_threads(),
         )
+        if heap.tlabs.config.enabled and heap.tlabs.tlab_size:
+            world.tracer.tlab_refill(
+                world.engine.now, n_bytes / heap.tlabs.tlab_size,
+                heap.tlabs.tlab_size,
+            )
         if cost > 0:
             self.alloc_overhead_time += cost
             yield from self.work(cost)
@@ -332,6 +353,7 @@ class MutatorContext:
                 return cohort
             except AllocationFailure:
                 attempts += 1
+                world.tracer.alloc_slow(world.engine.now, n_bytes)
                 if attempts > 4:
                     raise OutOfMemoryError(n_bytes, heap.eden_free)
                 yield from world.gc_cycle(

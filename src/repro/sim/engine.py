@@ -13,6 +13,7 @@ import math
 from typing import Callable, Optional
 
 from ..errors import SimulationError
+from ..telemetry.tracer import NULL_TRACER
 
 #: Priority for "urgent" scheduling (interrupts) — runs before normal
 #: events that share the same timestamp.
@@ -38,6 +39,10 @@ class Engine:
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = 0
         self._running = False
+        #: Telemetry sink; :data:`~repro.telemetry.tracer.NULL_TRACER`
+        #: unless a live tracer is attached (every hook call is then a
+        #: no-op method — the disabled path allocates nothing).
+        self.tracer = NULL_TRACER
 
     # -- scheduling ---------------------------------------------------
 
@@ -126,6 +131,7 @@ class Engine:
                     self.now = until
         finally:
             self._running = False
+        self.tracer.engine_run(self.now, n)
         return self.now
 
 

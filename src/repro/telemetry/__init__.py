@@ -1,0 +1,28 @@
+"""JFR-style telemetry: event tracing, HDR histograms, exporters.
+
+The observability subsystem of the simulated JVM (DESIGN.md §11):
+
+* :mod:`~repro.telemetry.tracer` — typed emission hooks; instrumented
+  code holds a ``tracer`` attribute that defaults to the zero-cost
+  :data:`~repro.telemetry.tracer.NULL_TRACER`;
+* :mod:`~repro.telemetry.hist` — the fixed-precision
+  :class:`LogHistogram` behind every pause/latency percentile;
+* :mod:`~repro.telemetry.ring` — the bounded event buffer (tracing never
+  grows without bound, drops are counted);
+* :mod:`~repro.telemetry.export` — JSONL traces, Chrome ``trace_event``
+  JSON (Perfetto-openable) and text reports, used by ``repro-trace``.
+"""
+
+from .events import TraceEvent
+from .hist import LogHistogram, percentile_rows
+from .ring import EventRing
+from .tracer import NULL_TRACER, NullTracer, Tracer
+from .export import (Trace, read_trace, render_diff, render_report,
+                     to_chrome, validate_chrome, write_chrome, write_trace)
+
+__all__ = [
+    "TraceEvent", "LogHistogram", "percentile_rows", "EventRing",
+    "NULL_TRACER", "NullTracer", "Tracer", "Trace", "read_trace",
+    "render_diff", "render_report", "to_chrome", "validate_chrome",
+    "write_chrome", "write_trace",
+]

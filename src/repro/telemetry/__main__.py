@@ -1,0 +1,7 @@
+"""``python -m repro.telemetry`` — same as the ``repro-trace`` script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

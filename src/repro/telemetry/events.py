@@ -1,0 +1,63 @@
+"""Typed trace events and their names.
+
+A :class:`TraceEvent` is an immutable ``(t, seq, name, dur, args)``
+tuple: ``t`` is the *simulated* time the event refers to, ``seq`` is the
+tracer's global emission counter, and together they define a total order
+that is reproducible run-to-run (no wall clock anywhere). ``dur`` is 0
+for instant events; ``args`` is a small JSON-safe dict of payload fields
+(sorted at serialization time).
+
+The names below are the full event vocabulary; exporters key off them,
+so collectors must not invent ad-hoc strings (use
+:meth:`~repro.telemetry.tracer.Tracer.annotate` for one-off markers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+#: Safepoint protocol: the world is being stopped / has resumed.
+SAFEPOINT_BEGIN = "safepoint_begin"
+SAFEPOINT_END = "safepoint_end"
+#: One STW GC pause (kind/cause/collector in args).
+GC_PHASE = "gc_phase"
+#: One concurrent GC phase (CMS mark/sweep, G1 marking).
+CONCURRENT_PHASE = "concurrent_phase"
+#: A mutator hit the allocation slow path (eden could not satisfy it).
+ALLOC_SLOW = "alloc_slow"
+#: Estimated TLAB refills charged to an allocation site.
+TLAB_REFILL = "tlab_refill"
+#: Bytes promoted out of the young generation by one minor collection.
+PROMOTION = "promotion"
+#: A generation was resized (G1's pause-target controller).
+HEAP_RESIZE = "heap_resize"
+#: The adaptive tenuring threshold moved.
+TENURING_ADAPT = "tenuring_adapt"
+#: Engine run completed (final clock + events processed).
+ENGINE_RUN = "engine_run"
+#: Free-form marker (concurrent mode failure, workload milestones...).
+ANNOTATION = "annotation"
+
+#: Events that carry a duration (exported as Chrome complete events).
+SPAN_EVENTS = frozenset({GC_PHASE, CONCURRENT_PHASE, SAFEPOINT_END})
+
+
+class TraceEvent(NamedTuple):
+    """One trace record (see module docstring for field semantics)."""
+
+    t: float
+    seq: int
+    name: str
+    dur: float
+    args: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (args keys are sorted by the JSON encoder)."""
+        return {"t": self.t, "seq": self.seq, "name": self.name,
+                "dur": self.dur, "args": self.args}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(t=float(d["t"]), seq=int(d["seq"]), name=str(d["name"]),
+                   dur=float(d["dur"]), args=dict(d.get("args", {})))

@@ -1,0 +1,59 @@
+"""Bounded event ring buffer with drop accounting.
+
+Tracing must never distort the simulation: the ring has a fixed
+capacity, appends are O(1), and when it is full the *oldest* event is
+overwritten (JFR keeps the most recent data too — the tail of a run is
+what you usually debug). Every overwrite increments :attr:`dropped`, and
+the exporters surface that count, so a truncated trace is always visibly
+truncated rather than silently partial. The per-name aggregate counters
+kept by the :class:`~repro.telemetry.tracer.Tracer` are *not* subject to
+ring capacity, so totals stay exact even when events drop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from .events import TraceEvent
+
+#: Default ring capacity (events). Sized so a full DaCapo run with
+#: default iterations fits without drops, while a multi-hour Cassandra
+#: trace degrades to "most recent window" instead of unbounded memory.
+DEFAULT_CAPACITY = 65536
+
+
+class EventRing:
+    """Fixed-capacity ring of :class:`TraceEvent`, overwrite-oldest."""
+
+    __slots__ = ("capacity", "dropped", "_buf", "_head")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ConfigError("ring capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.dropped = 0
+        self._buf: List[TraceEvent] = []
+        self._head = 0  # index of the oldest event once the ring is full
+
+    def append(self, event: TraceEvent) -> None:
+        """Add *event*, evicting the oldest when at capacity."""
+        if len(self._buf) < self.capacity:
+            self._buf.append(event)
+        else:
+            self._buf[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        """Events oldest-to-newest (emission order is preserved)."""
+        yield from self._buf[self._head:]
+        yield from self._buf[:self._head]
+
+    def clear(self) -> None:
+        """Drop all buffered events (the drop counter is kept)."""
+        self._buf.clear()
+        self._head = 0

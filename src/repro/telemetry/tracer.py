@@ -1,0 +1,155 @@
+"""The tracer: typed emission hooks and the zero-cost disabled path.
+
+Instrumented code (engine, world, collectors) holds a ``tracer``
+attribute and calls typed hook methods on it unconditionally::
+
+    self.tracer.gc_phase(start, dur, kind=..., cause=..., collector=...)
+
+When tracing is off that attribute is :data:`NULL_TRACER`, whose hooks
+are empty methods — the disabled path is a plain bound-method call with
+positional/keyword scalars already at hand: no event object, no dict, no
+ring append is ever allocated. ``tests/test_telemetry.py`` pins the
+zero-event guarantee and the fig3 benchmark guards the wall-clock cost.
+
+A live :class:`Tracer` assigns each event a global sequence number, so
+``(t, seq)`` totally orders the stream; everything it stores derives
+from simulated time only (SL001-clean). Besides the bounded event ring
+it maintains:
+
+* exact per-name aggregate counters (immune to ring drops);
+* a pause :class:`~repro.telemetry.hist.LogHistogram` fed by every
+  ``gc_phase`` — the mergeable artifact ``repro-trace diff`` compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .events import (ALLOC_SLOW, ANNOTATION, CONCURRENT_PHASE, ENGINE_RUN,
+                     GC_PHASE, HEAP_RESIZE, PROMOTION, SAFEPOINT_BEGIN,
+                     SAFEPOINT_END, TENURING_ADAPT, TLAB_REFILL, TraceEvent)
+from .hist import LogHistogram
+from .ring import DEFAULT_CAPACITY, EventRing
+
+
+class NullTracer:
+    """Disabled tracer: every hook is a no-op (see module docstring)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def safepoint_begin(self, t, threads):
+        pass
+
+    def safepoint_end(self, t, dur, threads):
+        pass
+
+    def gc_phase(self, t, dur, kind, cause, collector, promoted, heap_before, heap_after):
+        pass
+
+    def concurrent_phase(self, t, dur, phase, collector):
+        pass
+
+    def alloc_slow(self, t, requested):
+        pass
+
+    def tlab_refill(self, t, refills, tlab_size):
+        pass
+
+    def promotion(self, t, promoted, promoted_small):
+        pass
+
+    def heap_resize(self, t, region, before, after):
+        pass
+
+    def tenuring_adapt(self, t, before, after):
+        pass
+
+    def engine_run(self, t, events):
+        pass
+
+    def annotate(self, t, label, **args):
+        pass
+
+
+#: The process-wide disabled tracer every instrumented object starts with.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Live tracer: buffers events, counts names, builds the pause hist."""
+
+    __slots__ = ("ring", "counts", "pause_hist", "meta", "_seq")
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 meta: Optional[Dict[str, object]] = None):
+        self.ring = EventRing(capacity)
+        self.counts: Dict[str, int] = {}
+        self.pause_hist = LogHistogram()
+        self.meta: Dict[str, object] = dict(meta or {})
+        self._seq = 0
+
+    def _emit(self, t: float, name: str, dur: float, args: Dict[str, object]) -> None:
+        self._seq += 1
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.ring.append(TraceEvent(float(t), self._seq, name, float(dur), args))
+
+    @property
+    def seq(self) -> int:
+        """Events emitted so far (including any dropped from the ring)."""
+        return self._seq
+
+    # -- typed hooks ----------------------------------------------------
+
+    def safepoint_begin(self, t, threads):
+        self._emit(t, SAFEPOINT_BEGIN, 0.0, {"threads": threads})
+
+    def safepoint_end(self, t, dur, threads):
+        self._emit(t - dur, SAFEPOINT_END, dur, {"threads": threads})
+
+    def gc_phase(self, t, dur, kind, cause, collector, promoted, heap_before, heap_after):
+        self.pause_hist.record(dur)
+        self._emit(t, GC_PHASE, dur, {
+            "kind": kind, "cause": cause, "collector": collector,
+            "promoted": promoted, "heap_before": heap_before,
+            "heap_after": heap_after,
+        })
+
+    def concurrent_phase(self, t, dur, phase, collector):
+        self._emit(t, CONCURRENT_PHASE, dur, {"phase": phase, "collector": collector})
+
+    def alloc_slow(self, t, requested):
+        self._emit(t, ALLOC_SLOW, 0.0, {"requested": requested})
+
+    def tlab_refill(self, t, refills, tlab_size):
+        self._emit(t, TLAB_REFILL, 0.0, {"refills": refills, "tlab_size": tlab_size})
+
+    def promotion(self, t, promoted, promoted_small):
+        self._emit(t, PROMOTION, 0.0, {"promoted": promoted, "small": promoted_small})
+
+    def heap_resize(self, t, region, before, after):
+        self._emit(t, HEAP_RESIZE, 0.0, {"region": region, "before": before, "after": after})
+
+    def tenuring_adapt(self, t, before, after):
+        self._emit(t, TENURING_ADAPT, 0.0, {"before": before, "after": after})
+
+    def engine_run(self, t, events):
+        self._emit(t, ENGINE_RUN, 0.0, {"events": events})
+
+    def annotate(self, t, label, **args):
+        payload = {"label": label}
+        payload.update(args)
+        self._emit(t, ANNOTATION, 0.0, payload)
+
+    # -- summary --------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate view serialized as the trace's summary line."""
+        return {
+            "events_emitted": self._seq,
+            "events_buffered": len(self.ring),
+            "events_dropped": self.ring.dropped,
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+            "pause_hist": self.pause_hist.to_dict(),
+        }

@@ -84,7 +84,7 @@ class TestFormatParseRoundTrip:
     def test_format_single_pause(self):
         line = format_pause(sample_log().pauses[0], 16 * GB)
         assert line.startswith("1.000: [GC (Allocation Failure)")
-        assert "0.2500 secs" in line
+        assert "0.2500000 secs" in line  # 0.1 µs precision (round-trip safe)
 
     def test_parse_skips_blank_lines(self):
         text = format_gc_log(sample_log(), 16 * GB) + "\n\n"

@@ -1,0 +1,199 @@
+"""End-to-end tests for ``repro-trace``, ``--trace`` and ``--trace-dir``.
+
+Pins the pipeline-level acceptance criteria: two same-seed traced runs
+produce byte-identical files, the Chrome export validates against the
+trace_event schema, and the campaign writes content-addressed traces.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.cli import dacapo_main
+from repro.errors import ReproError
+from repro.studies import GridSpec
+from repro.telemetry import read_trace, to_chrome, validate_chrome
+from repro.telemetry.cli import main as trace_main
+from repro.telemetry.export import TRACE_SCHEMA_VERSION
+
+#: Small pinned recording: a couple of seconds of simulation.
+RECORD_ARGS = ["record", "lusearch", "-n", "2", "--gc", "ParallelOld",
+               "--heap", "1g", "--young", "256m", "--seed", "3"]
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One pinned ``repro-trace record`` run, shared across tests."""
+    path = tmp_path_factory.mktemp("trace") / "a.trace.jsonl"
+    assert trace_main(RECORD_ARGS + ["-o", str(path)]) == 0
+    return path
+
+
+class TestRecordDeterminism:
+    def test_same_seed_runs_are_byte_identical(self, recorded, tmp_path):
+        again = tmp_path / "b.trace.jsonl"
+        assert trace_main(RECORD_ARGS + ["-o", str(again)]) == 0
+        assert again.read_bytes() == recorded.read_bytes()
+
+    def test_trace_layout(self, recorded):
+        lines = [json.loads(l) for l in recorded.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["v"] == TRACE_SCHEMA_VERSION
+        assert lines[0]["meta"]["gc"] == "ParallelOldGC"
+        assert lines[0]["meta"]["seed"] == 3
+        assert lines[-1]["type"] == "summary"
+        assert all(d["type"] == "event" for d in lines[1:-1])
+
+    def test_read_trace_round_trip(self, recorded):
+        trace = read_trace(str(recorded))
+        assert trace.meta["workload"] == "lusearch"
+        assert len(trace.events) == trace.summary["events_buffered"]
+        assert trace.dropped == 0
+        assert trace.pause_hist.total_count == trace.summary["counts"]["gc_phase"]
+
+
+class TestReportAndDiff:
+    def test_report_prints_percentiles(self, recorded, capsys):
+        assert trace_main(["report", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "pauses:" in out
+        assert "p99" in out and "ms" in out
+        assert "0 dropped" in out
+
+    def test_diff_labels_by_gc(self, recorded, tmp_path, capsys):
+        other = tmp_path / "cms.trace.jsonl"
+        args = list(RECORD_ARGS)
+        args[args.index("ParallelOld")] = "CMS"
+        assert trace_main(args + ["-o", str(other)]) == 0
+        capsys.readouterr()
+        assert trace_main(["diff", str(recorded), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "ParallelOldGC vs ConcMarkSweepGC" in out
+        assert "p50" in out and "count" in out
+
+
+class TestChromeExport:
+    def test_export_validates(self, recorded, tmp_path):
+        out = tmp_path / "chrome.json"
+        assert trace_main(["export", str(recorded),
+                           "--format", "chrome", "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome(doc) == []
+        phases = {ev["ph"] for ev in doc["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+
+    def test_tracks_and_counters(self, recorded):
+        doc = to_chrome(read_trace(str(recorded)))
+        names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+        heap = [ev for ev in doc["traceEvents"]
+                if ev["ph"] == "C" and ev["name"] == "heap_used"]
+        assert heap and all(isinstance(ev["args"]["bytes"], float) for ev in heap)
+        # every STW pause produced one slice and two heap samples
+        slices = [ev for ev in doc["traceEvents"]
+                  if ev["ph"] == "X" and ev.get("cat") == "gc"]
+        assert len(heap) == 2 * len([s for s in slices if s["tid"] == 1])
+
+    def test_validator_flags_bad_documents(self):
+        assert validate_chrome({}) == ["traceEvents must be a list"]
+        bad = {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 0,
+                                "ts": 1.0}]}
+        assert any("dur" in p for p in validate_chrome(bad))
+        bad = {"traceEvents": [{"ph": "i", "name": "x", "pid": 0, "tid": 0,
+                                "ts": -1.0, "s": "q"}]}
+        problems = validate_chrome(bad)
+        assert any("non-negative" in p for p in problems)
+        assert any("scope" in p for p in problems)
+
+    def test_jsonl_export_is_canonical_identity(self, recorded, tmp_path):
+        out = tmp_path / "copy.trace.jsonl"
+        assert trace_main(["export", str(recorded),
+                           "--format", "jsonl", "-o", str(out)]) == 0
+        assert out.read_bytes() == recorded.read_bytes()
+
+
+class TestErrors:
+    def test_missing_trace_is_a_clean_error(self, tmp_path, capsys):
+        assert trace_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_schema_version_mismatch(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type":"meta","v":999,"meta":{}}\n')
+        with pytest.raises(ReproError, match="schema"):
+            read_trace(str(bad))
+
+    def test_garbage_line_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            read_trace(str(bad))
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type":"mystery"}\n')
+        with pytest.raises(ReproError, match="unknown record type"):
+            read_trace(str(bad))
+
+
+class TestRingCapacityFlag:
+    def test_small_ring_drops_are_reported(self, tmp_path, capsys):
+        out = tmp_path / "tiny.trace.jsonl"
+        assert trace_main(RECORD_ARGS + ["--ring-capacity", "16",
+                                         "-o", str(out)]) == 0
+        assert "dropped" in capsys.readouterr().out
+        trace = read_trace(str(out))
+        assert len(trace.events) == 16
+        assert trace.dropped > 0
+        # aggregate counts stay exact despite the drops
+        assert sum(trace.summary["counts"].values()) == \
+            trace.summary["events_emitted"]
+
+
+class TestDacapoTraceFlag:
+    def test_dacapo_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "dacapo.trace.jsonl"
+        rc = dacapo_main(["lusearch", "-n", "2", "--gc", "Serial",
+                          "--heap", "1g", "--young", "256m",
+                          "--trace", str(out)])
+        assert rc == 0
+        assert "trace written to" in capsys.readouterr().out
+        trace = read_trace(str(out))
+        assert trace.meta["gc"] == "SerialGC"
+        assert trace.pause_hist.total_count > 0
+
+
+class TestCampaignTraceDir:
+    def test_traces_are_content_addressed(self, tmp_path):
+        spec = CampaignSpec(name="traced", grids=[GridSpec(
+            benchmarks=["lusearch"], gcs=["Serial", "ParallelOld"],
+            heaps=["1g"], youngs=["256m"], seeds=[0], iterations=2)])
+        trace_dir = tmp_path / "traces"
+        result = run_campaign(spec, store=str(tmp_path / "store"),
+                              executor="serial", trace_dir=str(trace_dir))
+        assert result.stats.simulated == 2
+        digests = [c.digest() for cells in spec.cell_specs() for c in cells]
+        paths = {p.name for p in trace_dir.iterdir()}
+        assert paths == {f"{d}.trace.jsonl" for d in digests}
+        for digest in digests:
+            trace = read_trace(str(trace_dir / f"{digest}.trace.jsonl"))
+            assert trace.meta["cell_digest"] == digest
+            assert trace.meta["benchmark"] == "lusearch"
+
+    def test_cache_hits_do_not_rewrite_traces(self, tmp_path):
+        spec = CampaignSpec(name="traced", grids=[GridSpec(
+            benchmarks=["lusearch"], gcs=["Serial"], heaps=["1g"],
+            youngs=["256m"], seeds=[0], iterations=2)])
+        trace_dir = tmp_path / "traces"
+        store = str(tmp_path / "store")
+        run_campaign(spec, store=store, executor="serial",
+                     trace_dir=str(trace_dir))
+        marker = next(trace_dir.iterdir())
+        marker.write_text("sentinel")  # would be clobbered by a re-trace
+        again = run_campaign(spec, store=store, executor="serial",
+                             trace_dir=str(trace_dir))
+        assert again.stats.cached == 1
+        assert marker.read_text() == "sentinel"

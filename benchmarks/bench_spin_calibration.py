@@ -1,0 +1,30 @@
+"""Runner-speed calibration: a tiny pinned CPU spin.
+
+This is *not* a simulator benchmark. It measures the host's single-core
+Python throughput on a fixed, dependency-free integer workload, so the
+perf pipeline (``run_perf.py`` / ``check_regression.py``) can tell "the
+simulator got slower" apart from "this runner is slower than the one
+that recorded the baseline". The regression gate divides every bench's
+wall-clock ratio by the spin ratio before applying its threshold.
+
+The workload is deliberately boring: pure-Python arithmetic over a fixed
+iteration count, no allocation-heavy containers, no numpy (BLAS thread
+counts vary across runners). pytest-benchmark does the timing.
+"""
+
+#: Fixed spin length. Never change this without regenerating every
+#: committed baseline — the calibration compares across commits.
+SPIN_N = 200_000
+
+
+def _spin(n: int = SPIN_N) -> int:
+    acc = 0
+    for i in range(n):
+        acc = (acc * 1103515245 + i) & 0xFFFFFFFF
+    return acc
+
+
+def test_spin_calibration(benchmark):
+    result = benchmark(_spin)
+    # Pinned result guards against the workload being optimized away.
+    assert result == _spin()

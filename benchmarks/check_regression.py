@@ -38,9 +38,29 @@ def _load(path):
         raise SystemExit(2)
 
 
+def _calibration_scale(current: dict, baseline: dict):
+    """Runner-speed factor from the pinned spin benchmark.
+
+    Returns ``cur_spin / base_spin`` (>1 means this runner is slower than
+    the baseline's recorder), or ``None`` when either report predates the
+    calibration field. Wall ratios are divided by this before the
+    threshold check, so the gate measures the *simulator*, not the
+    runner lottery.
+    """
+    cur = current.get("calibration", {}).get("spin_s")
+    base = baseline.get("calibration", {}).get("spin_s")
+    if not cur or not base:
+        return None
+    return cur / base
+
+
 def compare(current: dict, baseline: dict, threshold: float):
     """Return (regressions, sim_drift, lines) comparing two reports."""
     regressions, drift, lines = [], [], []
+    scale = _calibration_scale(current, baseline)
+    if scale is not None:
+        lines.append(f"  runner calibration: spin ratio {scale:.3f} "
+                     "(wall ratios normalized by this)")
     base_benches = baseline.get("benches", {})
     for name, cur in sorted(current.get("benches", {}).items()):
         base = base_benches.get(name)
@@ -48,13 +68,16 @@ def compare(current: dict, baseline: dict, threshold: float):
             lines.append(f"  {name}: {cur['wall_s']:.2f}s (new bench, no baseline)")
             continue
         ratio = cur["wall_s"] / base["wall_s"] if base["wall_s"] else float("inf")
+        if scale:
+            ratio /= scale
         delta = (ratio - 1.0) * 100.0
         flag = ""
         if ratio > 1.0 + threshold:
             regressions.append(name)
             flag = "  << REGRESSION"
+        suffix = " calibrated" if scale else ""
         lines.append(f"  {name}: {cur['wall_s']:.2f}s vs {base['wall_s']:.2f}s "
-                     f"baseline ({delta:+.1f}%){flag}")
+                     f"baseline ({delta:+.1f}%{suffix}){flag}")
     for name in sorted(set(base_benches) - set(current.get("benches", {}))):
         lines.append(f"  {name}: missing from current report (baseline has it)")
 

@@ -88,6 +88,31 @@ def run_benches(tmp: pathlib.Path) -> dict:
     return out
 
 
+def run_calibration(tmp: pathlib.Path) -> dict:
+    """Measure this runner's speed on the pinned spin benchmark.
+
+    The spin result calibrates the wall-clock regression gate: a runner
+    half as fast as the baseline's shows spin_s twice as large, and
+    ``check_regression.py`` divides every bench ratio by that factor.
+    """
+    json_path = tmp / "spin.pytest-benchmark.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest",
+         str(ROOT / "benchmarks" / "bench_spin_calibration.py"),
+         "--benchmark-json", str(json_path), "-q"],
+        cwd=str(ROOT), env=_bench_env({}),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        raise SystemExit(f"calibration bench failed (exit {proc.returncode})")
+    doc = json.loads(json_path.read_text())
+    # Per-round mean: independent of pytest-benchmark's round calibration.
+    spin = doc["benchmarks"][0]["stats"]["mean"]
+    print(f"calibration: spin {spin * 1e3:.3f}ms/round")
+    return {"spin_s": spin}
+
+
 def run_traced(tmp: pathlib.Path) -> dict:
     """Record each pinned traced run twice; check determinism + export."""
     from repro.telemetry import read_trace, to_chrome, validate_chrome
@@ -140,6 +165,7 @@ def main(argv=None) -> int:
         tmp = pathlib.Path(tmpdir)
         report = {
             "schema": BENCH_SCHEMA_VERSION,
+            "calibration": {} if args.skip_benches else run_calibration(tmp),
             "benches": {} if args.skip_benches else run_benches(tmp),
             "traces": run_traced(tmp),
         }

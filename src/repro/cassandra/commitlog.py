@@ -13,25 +13,34 @@ step" visible at the start of the paper's Figure 4.
 
 from __future__ import annotations
 
-from typing import List
+from collections import deque
 
 from .config import CassandraConfig
 
 
 class CommitLog:
-    """Append-only segmented log, heap-resident."""
+    """Append-only segmented log, heap-resident.
+
+    In the stress configuration the log grows to thousands of segments,
+    so :attr:`heap_bytes` keeps a running total instead of summing the
+    segment list on every query. Segments are unreleased pinned cohorts
+    whose ``resident`` never changes while in the deque (released ones
+    are popped immediately), and segment sizes are whole bytes, so the
+    incremental total is exact.
+    """
 
     def __init__(self, config: CassandraConfig):
         self.config = config
-        self.segments: List = []     # pinned cohorts, oldest first
+        self.segments: deque = deque()   # pinned cohorts, oldest first
         self.pending_bytes = 0.0
         self.appended_bytes = 0.0
         self.recycled_segments = 0
+        self._segment_bytes = 0.0        # running sum of segment residents
 
     @property
     def heap_bytes(self) -> float:
         """Heap bytes currently held by live segments."""
-        return sum(s.resident for s in self.segments) + self.pending_bytes
+        return self._segment_bytes + self.pending_bytes
 
     def append(self, n_bytes: float) -> None:
         """Record *n_bytes* of mutations (materialized lazily)."""
@@ -48,9 +57,11 @@ class CommitLog:
         while self.pending_bytes >= seg:
             cohort = yield from allocate_segment(seg)
             self.segments.append(cohort)
+            self._segment_bytes += cohort.resident
             self.pending_bytes -= seg
         while self.heap_bytes > self.config.commitlog_cap_bytes and len(self.segments) > 1:
-            oldest = self.segments.pop(0)
+            oldest = self.segments.popleft()
+            self._segment_bytes -= oldest.resident
             oldest.release()
             self.recycled_segments += 1
 

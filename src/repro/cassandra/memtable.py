@@ -13,29 +13,36 @@ old-generation garbage under an update-heavy YCSB workload.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
 
 from ..errors import ConfigError
 from .config import CassandraConfig
 
 
 class Memtable:
-    """Heap-resident table of recent writes."""
+    """Heap-resident table of recent writes.
+
+    Like the commit log, the chunk list can grow very large under the
+    stress configuration, so :attr:`heap_bytes` is a running total
+    (chunks are unreleased pinned cohorts of whole-byte sizes — their
+    ``resident`` is constant while in the deque, so the total is exact).
+    """
 
     def __init__(self, config: CassandraConfig):
         self.config = config
-        self.chunks: List = []          # pinned cohorts (oldest first)
+        self.chunks: deque = deque()    # pinned cohorts (oldest first)
         self.pending_bytes = 0.0        # bytes not yet materialized as a cohort
         self.obsolete_bytes = 0.0       # superseded data awaiting chunk release
         self.record_count = 0
         self.flush_count = 0
+        self._chunk_bytes = 0.0         # running sum of chunk residents
 
     # ------------------------------------------------------------------
 
     @property
     def heap_bytes(self) -> float:
         """Heap bytes currently held (materialized chunks + pending)."""
-        return sum(c.resident for c in self.chunks) + self.pending_bytes
+        return self._chunk_bytes + self.pending_bytes
 
     @property
     def needs_flush(self) -> bool:
@@ -67,6 +74,7 @@ class Memtable:
         while self.pending_bytes >= chunk:
             cohort = yield from allocate_chunk(chunk)
             self.chunks.append(cohort)
+            self._chunk_bytes += cohort.resident
             self.pending_bytes -= chunk
         self._release_obsolete()
 
@@ -74,7 +82,8 @@ class Memtable:
         """Release whole chunks once enough data has been superseded."""
         chunk = self.config.memtable_chunk_bytes
         while self.obsolete_bytes >= chunk and self.chunks:
-            oldest = self.chunks.pop(0)
+            oldest = self.chunks.popleft()
+            self._chunk_bytes -= oldest.resident
             oldest.release()
             self.obsolete_bytes -= chunk
 
@@ -88,6 +97,7 @@ class Memtable:
         for cohort in self.chunks:
             freed += cohort.release()
         self.chunks.clear()
+        self._chunk_bytes = 0.0
         freed += self.pending_bytes
         self.pending_bytes = 0.0
         self.obsolete_bytes = 0.0

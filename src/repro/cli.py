@@ -15,7 +15,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-campaign``  — parallel, cached, resumable experiment-grid
   campaigns (see :mod:`repro.campaign`);
 * ``repro-trace``     — record/report/export/diff JFR-style telemetry
-  traces (see :mod:`repro.telemetry`).
+  traces (see :mod:`repro.telemetry`);
+* ``repro-perf``      — profile the simulator itself: hot-spot report and
+  engine event rates for one cell (see :mod:`repro.perf`).
 
 ``repro-dacapo --audit`` additionally attaches the runtime
 :class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
@@ -287,6 +289,13 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
 def trace_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-trace``: record/report/export/diff traces."""
     from .telemetry.cli import main
+
+    return main(argv)
+
+
+def perf_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-perf``: profile the simulator itself."""
+    from .perf.cli import main
 
     return main(argv)
 

@@ -95,6 +95,30 @@ class Cohort:
         self.age = 0
         self.label = label
 
+    @classmethod
+    def bump(cls, t0: float, t1: float, allocated: float, dist,
+             n_objects: float, label: str) -> "Cohort":
+        """Validation-free constructor for the batched eden bump path.
+
+        The caller (``MutatorContext._allocate_span`` pass 1) has already
+        proven ``t1 >= t0``, ``allocated >= 0`` and ``dist is not None``;
+        re-checking per piece was measurable. Field values are identical
+        to ``Cohort(t0, t1, allocated, dist, n_objects=..., label=...)``.
+        """
+        self = cls.__new__(cls)
+        self.cid = next(_ids)
+        self.t0 = float(t0)
+        self.t1 = float(t1)
+        self.allocated = float(allocated)
+        self.dist = dist
+        self.n_objects = float(n_objects)
+        self.pinned = False
+        self.released = False
+        self.resident = float(allocated)
+        self.age = 0
+        self.label = label
+        return self
+
     # ------------------------------------------------------------------
 
     #: Live fractions below this are rounded to zero at collection time:

@@ -89,23 +89,29 @@ def batch_live_bytes(cohorts: Sequence[Cohort], now: float) -> np.ndarray:
         if c.pinned:
             out[i] = 0.0 if c.released else c.resident
         elif c.allocated > 0.0:
-            groups.setdefault(id(c.dist), (c.dist, []))[1].append(i)
-    for dist, idx in groups.values():
-        idx = np.asarray(idx, dtype=np.intp)
-        t0 = np.array([cohorts[i].t0 for i in idx])
-        t1 = np.array([cohorts[i].t1 for i in idx])
-        alloc = np.array([cohorts[i].allocated for i in idx])
-        resident = np.array([cohorts[i].resident for i in idx])
+            entry = groups.get(id(c.dist))
+            if entry is None:
+                entry = groups[id(c.dist)] = (c.dist, [], [])
+            entry[1].append(i)
+            entry[2].append(c)
+    for dist, idx, cs in groups.values():
+        k = len(cs)
+        t0 = np.fromiter((c.t0 for c in cs), dtype=float, count=k)
+        t1 = np.fromiter((c.t1 for c in cs), dtype=float, count=k)
+        alloc = np.fromiter((c.allocated for c in cs), dtype=float, count=k)
+        resident = np.fromiter((c.resident for c in cs), dtype=float, count=k)
         eff_now = np.maximum(now, t1)
         width = t1 - t0
-        hi = dist.integrated_survival(eff_now - t0)
-        lo = dist.integrated_survival(np.maximum(eff_now - t1, 0.0))
+        # Ages are already 1-d arrays, so skip the scalar-preserving
+        # public wrappers and hit the vectorized kernels directly.
+        hi = dist._integrated_survival(eff_now - t0)
+        lo = dist._integrated_survival(np.maximum(eff_now - t1, 0.0))
         with np.errstate(divide="ignore", invalid="ignore"):
             # Degenerate windows cancel catastrophically; fall back to the
             # point survival and clamp into [0, 1] (see window_live_fraction).
             tiny = width <= 1e-9 * np.maximum(1.0, eff_now - t0)
             frac = np.where(~tiny, (hi - lo) / np.where(width > 0, width, 1.0),
-                            dist.survival(eff_now - t0))
+                            dist._survival(eff_now - t0))
             frac = np.clip(frac, 0.0, 1.0)
         out[idx] = np.minimum(resident, alloc * frac)
     return out
@@ -121,7 +127,9 @@ def batch_collect(cohorts: Sequence[Cohort], now: float) -> Tuple[float, List[Co
     freed = 0.0
     survivors: List[Cohort] = []
     cutoff = Cohort.TAIL_CUTOFF
-    for c, live in zip(cohorts, lives):
+    # tolist() gives plain floats (bit-identical); iterating np scalars is
+    # several times slower in this loop.
+    for c, live in zip(cohorts, lives.tolist()):
         if not c.pinned and live <= max(cutoff * c.allocated, 0.5):
             live = 0.0
         freed += c.resident - live
@@ -249,6 +257,20 @@ class GenerationalHeap:
             n_objects=n_objects, pinned=pinned, label=label,
         )
         self.eden.add(n_bytes)
+        self.eden_cohorts.append(cohort)
+        return cohort
+
+    def allocate_bump(self, now: float, n_bytes: float, dist, *,
+                      n_objects: float, label: str, window: float) -> Cohort:
+        """:meth:`allocate` minus the feasibility re-checks, for the batched
+        bump path — the span's pass 1 already proved the piece fits eden
+        (against the stricter TLAB-waste-reserved bound, which implies
+        :meth:`~repro.heap.spaces.Space.add`'s own check). State effects
+        are identical to :meth:`allocate`.
+        """
+        cohort = Cohort.bump(now - window, now, n_bytes, dist, n_objects, label)
+        eden = self.eden
+        eden.used = min(eden.used + n_bytes, eden.capacity)
         self.eden_cohorts.append(cohort)
         return cohort
 

@@ -44,33 +44,53 @@ class TLABConfig:
 
 
 class TLABManager:
-    """Computes TLAB sizing and expected waste for a heap + thread count."""
+    """Computes TLAB sizing and expected waste for a heap + thread count.
+
+    ``tlab_size`` and ``expected_waste`` are pure functions of the config,
+    eden capacity and thread count, but they sit on the per-allocation hot
+    path (every ``eden_free`` check reads ``expected_waste``), so both are
+    cached and recomputed only when :attr:`eden_capacity` changes — the
+    single input that moves at runtime (young-gen resizing).
+    """
+
+    __slots__ = ("config", "n_threads", "_eden_capacity",
+                 "tlab_size", "expected_waste")
 
     def __init__(self, config: TLABConfig, eden_capacity: float, n_threads: int):
         if n_threads < 1:
             raise ConfigError("n_threads must be >= 1")
         self.config = config
-        self.eden_capacity = float(eden_capacity)
         self.n_threads = int(n_threads)
+        self._eden_capacity = float(eden_capacity)
+        self._recompute()
 
     @property
-    def tlab_size(self) -> float:
-        """Effective per-thread TLAB size in bytes (0 when disabled)."""
-        if not self.config.enabled:
-            return 0.0
-        if self.config.size is not None:
-            return float(self.config.size)
-        adaptive = self.eden_capacity / (self.n_threads * self.config.target_refills)
-        return float(min(max(adaptive, self.config.min_size), self.config.max_size))
+    def eden_capacity(self) -> float:
+        """Eden capacity the sizing is based on (setting it re-sizes)."""
+        return self._eden_capacity
 
-    @property
-    def expected_waste(self) -> float:
-        """Eden bytes expected to be stranded in half-full TLABs at GC time.
+    @eden_capacity.setter
+    def eden_capacity(self, value: float) -> None:
+        value = float(value)
+        if value != self._eden_capacity:
+            self._eden_capacity = value
+            self._recompute()
 
-        Half a buffer per allocating thread, capped at 10 % of eden so a
-        pathological thread count cannot consume the whole nursery.
-        """
-        if not self.config.enabled:
-            return 0.0
-        waste = 0.5 * self.tlab_size * self.n_threads
-        return float(min(waste, 0.10 * self.eden_capacity))
+    def _recompute(self) -> None:
+        config = self.config
+        if not config.enabled:
+            #: Effective per-thread TLAB size in bytes (0 when disabled).
+            self.tlab_size = 0.0
+            #: Eden bytes expected stranded in half-full TLABs at GC time:
+            #: half a buffer per allocating thread, capped at 10 % of eden
+            #: so a pathological thread count cannot consume the nursery.
+            self.expected_waste = 0.0
+            return
+        if config.size is not None:
+            size = float(config.size)
+        else:
+            adaptive = self._eden_capacity / (self.n_threads * config.target_refills)
+            size = float(min(max(adaptive, config.min_size), config.max_size))
+        self.tlab_size = size
+        waste = 0.5 * size * self.n_threads
+        self.expected_waste = float(min(waste, 0.10 * self._eden_capacity))

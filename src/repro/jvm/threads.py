@@ -28,7 +28,9 @@ from ..errors import OutOfMemoryError, PromotionFailure, AllocationFailure
 from ..gc.base import Outcome
 from ..gc.stats import GCLog, PauseRecord
 from ..heap.lifetime import LifetimeDistribution
-from ..sim import Engine, Interrupt
+from ..perf import fastpath
+from ..sim import Engine, Event, Interrupt
+from ..sim.process import TRIGGERED, Timeout
 from ..telemetry.tracer import NULL_TRACER
 from ..units import KB
 
@@ -47,28 +49,60 @@ class World:
         self.gc_in_progress = False
         self._resume_event = None
         self.mutators: List["MutatorContext"] = []
+        # O(1) mirrors of "how many contexts are alive / alive-and-running".
+        # Maintained by register() and the MutatorContext.alive/parked
+        # setters; mutator_speed() is called once per work quantum, so the
+        # old O(n_mutators) generator sums dominated large-grid profiles.
+        self._n_alive = 0
+        self._n_running = 0
         self.total_stw_time = 0.0
         #: Telemetry sink (the JVM swaps in a live tracer when requested).
         self.tracer = NULL_TRACER
-        #: Logical application threads represented by each mutator process.
-        #: Workloads may simulate k threads per process ("thread groups")
-        #: for speed; CPU sharing and allocation contention stay faithful
-        #: to the logical thread count.
-        self.thread_multiplier = 1.0
+        self._thread_multiplier = 1.0
+        # Derived thread quantities, recomputed on the rare inputs changes
+        # (thread birth/death, multiplier assignment) instead of on every
+        # work quantum: logical thread count and the CPU-sharing divisor.
+        self._logical_threads = 1
+        self._speed_denom = 1.0
+
+    @property
+    def thread_multiplier(self) -> float:
+        """Logical application threads represented by each mutator process.
+
+        Workloads may simulate k threads per process ("thread groups")
+        for speed; CPU sharing and allocation contention stay faithful
+        to the logical thread count.
+        """
+        return self._thread_multiplier
+
+    @thread_multiplier.setter
+    def thread_multiplier(self, value: float) -> None:
+        self._thread_multiplier = value
+        self._recompute_threads()
+
+    def _recompute_threads(self) -> None:
+        logical = self._n_alive * self._thread_multiplier
+        self._logical_threads = max(1, int(round(logical)))
+        self._speed_denom = logical if logical > 1.0 else 1.0
 
     # ------------------------------------------------------------------
 
     def register(self, ctx: "MutatorContext") -> None:
         """Track a mutator context for safepoint interruption."""
         self.mutators.append(ctx)
+        if ctx._alive:
+            self._n_alive += 1
+            if not ctx._parked:
+                self._n_running += 1
+            self._recompute_threads()
 
     def alive_mutators(self) -> int:
         """Number of live mutator threads."""
-        return sum(1 for m in self.mutators if m.alive)
+        return self._n_alive
 
     def running_mutators(self) -> int:
         """Live mutators that are not parked at a safepoint."""
-        return sum(1 for m in self.mutators if m.alive and not m.parked)
+        return self._n_running
 
     def mutator_speed(self) -> float:
         """Per-thread execution speed in [0, 1].
@@ -76,15 +110,18 @@ class World:
         Concurrent GC threads steal cores; more runnable mutators than
         available cores time-share.
         """
-        conc = self.collector.concurrent_threads_active
-        available = max(self.n_cores - conc, 1)
-        running = max(self.alive_mutators() * self.thread_multiplier, 1.0)
-        speed = min(1.0, available / running)
-        return speed / (1.0 + self.collector.mutator_overhead)
+        collector = self.collector
+        available = self.n_cores - collector.concurrent_threads_active
+        if available < 1:
+            available = 1
+        speed = available / self._speed_denom
+        if speed > 1.0:
+            speed = 1.0
+        return speed / (1.0 + collector.mutator_overhead)
 
     def logical_threads(self) -> int:
         """Logical application thread count (for contention modelling)."""
-        return max(1, int(round(self.alive_mutators() * self.thread_multiplier)))
+        return self._logical_threads
 
     # ------------------------------------------------------------------
     # Stop-the-world cycle
@@ -202,14 +239,49 @@ class MutatorContext:
     #: allocation-path cost when the caller does not provide one.
     DEFAULT_OBJECT_SIZE = 4 * KB
 
+    __slots__ = ("world", "name", "_parked", "_alive", "process",
+                 "allocated_bytes", "alloc_overhead_time")
+
     def __init__(self, world: World, name: str = "mutator"):
         self.world = world
         self.name = name
-        self.parked = False
-        self.alive = True
+        self._parked = False
+        self._alive = True
         self.process = None  # set by JVM.spawn_mutator
         self.allocated_bytes = 0.0
         self.alloc_overhead_time = 0.0
+
+    # `alive` and `parked` feed the World's O(1) liveness counters, so
+    # they are properties whose setters keep the counters in sync. Only
+    # mutate them after World.register() — the counters assume the context
+    # is already counted.
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._alive:
+            self._alive = value
+            delta = 1 if value else -1
+            self.world._n_alive += delta
+            if not self._parked:
+                self.world._n_running += delta
+            self.world._recompute_threads()
+
+    @property
+    def parked(self) -> bool:
+        return self._parked
+
+    @parked.setter
+    def parked(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._parked:
+            self._parked = value
+            if self._alive:
+                self.world._n_running += -1 if value else 1
 
     # ------------------------------------------------------------------
 
@@ -220,18 +292,19 @@ class MutatorContext:
         stop-the-world interruptions.
         """
         remaining = float(cpu_seconds)
-        engine = self.world.engine
+        world = self.world
+        engine = world.engine
         while remaining > 1e-12:
-            if self.world.stw:
-                yield from self.world._park(self)
-            speed = self.world.mutator_speed()
+            if world.stw:
+                yield from world._park(self)
+            speed = world.mutator_speed()
             start = engine.now
             try:
-                yield engine.timeout(remaining / speed)
+                yield Timeout(engine, remaining / speed)
                 remaining = 0.0
             except Interrupt:
                 remaining -= (engine.now - start) * speed
-                yield from self.world._park(self)
+                yield from world._park(self)
 
     def allocate_old(
         self,
@@ -303,23 +376,39 @@ class MutatorContext:
         """
         world = self.world
         heap = world.heap
+        tlabs = heap.tlabs
+        tlab_enabled = tlabs.config.enabled
+        tlab_size = tlabs.tlab_size
         if n_objects is None:
             n_objects = max(1.0, n_bytes / self.DEFAULT_OBJECT_SIZE)
         cost = world.costs.alloc_overhead(
             n_bytes=n_bytes,
             n_objects=n_objects,
-            tlab_enabled=heap.tlabs.config.enabled,
-            tlab_size=heap.tlabs.tlab_size or 1.0,
-            n_threads=world.logical_threads(),
+            tlab_enabled=tlab_enabled,
+            tlab_size=tlab_size or 1.0,
+            n_threads=world._logical_threads,
         )
-        if heap.tlabs.config.enabled and heap.tlabs.tlab_size:
+        if tlab_enabled and tlab_size:
             world.tracer.tlab_refill(
-                world.engine.now, n_bytes / heap.tlabs.tlab_size,
-                heap.tlabs.tlab_size,
+                world.engine.now, n_bytes / tlab_size, tlab_size,
             )
         if cost > 0:
             self.alloc_overhead_time += cost
-            yield from self.work(cost)
+            # work(cost) inlined: the delegated generator was measurable at
+            # one call per allocation.
+            remaining = cost
+            engine = world.engine
+            while remaining > 1e-12:
+                if world.stw:
+                    yield from world._park(self)
+                speed = world.mutator_speed()
+                start = engine.now
+                try:
+                    yield Timeout(engine, remaining / speed)
+                    remaining = 0.0
+                except Interrupt:
+                    remaining -= (engine.now - start) * speed
+                    yield from world._park(self)
         attempts = 0
         while True:
             if world.stw or world.gc_in_progress:
@@ -359,6 +448,170 @@ class MutatorContext:
                 yield from world.gc_cycle(
                     self, world.collector.allocation_failure
                 )
+
+    def allocate_all(
+        self,
+        n_bytes: float,
+        dist: Optional[LifetimeDistribution] = None,
+        *,
+        mean_object_size: Optional[float] = None,
+        max_piece: float,
+        window: float = 0.0,
+        label: str = "",
+        accumulate: Optional[list] = None,
+    ):
+        """Generator: allocate *n_bytes* as a run of ``<= max_piece`` cohorts.
+
+        Semantically identical to the classic workload loop::
+
+            while remaining > 0:
+                piece = min(remaining, max_piece)
+                yield from ctx.allocate(piece, dist,
+                                        n_objects=max(1.0, piece / mean_object_size),
+                                        window=window, label=label)
+                remaining -= piece
+
+        but when the fast path is enabled (``REPRO_FASTPATH``, see
+        :mod:`repro.perf.fastpath`) consecutive TLAB bump allocations are
+        collapsed into one engine event per span (:meth:`_allocate_span`).
+        Pieces that leave the bump path — humongous routing, allocation
+        failure, an in-flight safepoint — always go through
+        :meth:`allocate`, so GC triggers fire at identical simulated times
+        either way.
+
+        *accumulate*, if given, is a one-element list whose head is
+        incremented by each committed piece — float-op order matches the
+        historical per-piece ``acc[0] += piece`` exactly.
+        """
+        world = self.world
+        remaining = float(n_bytes)
+        if mean_object_size is None:
+            mean_object_size = self.DEFAULT_OBJECT_SIZE
+        while remaining > 0:
+            if fastpath.ENABLED:
+                remaining = yield from self._allocate_span(
+                    remaining, dist, mean_object_size=mean_object_size,
+                    max_piece=max_piece, window=window, label=label,
+                    accumulate=accumulate,
+                )
+                if remaining <= 0:
+                    return
+            # Slow path: exactly one piece through the full allocation
+            # machinery (parking, humongous routing, GC on failure).
+            piece = min(remaining, max_piece)
+            yield from self.allocate(
+                piece, dist,
+                n_objects=max(1.0, piece / mean_object_size),
+                window=window, label=label,
+            )
+            if accumulate is not None:
+                accumulate[0] += piece
+            remaining -= piece
+
+    def _allocate_span(
+        self,
+        remaining: float,
+        dist: Optional[LifetimeDistribution],
+        *,
+        mean_object_size: float,
+        max_piece: float,
+        window: float,
+        label: str,
+        accumulate: Optional[list],
+    ):
+        """Generator: commit as many consecutive eden pieces as provably
+        take the bump-allocation path, under ONE engine event.
+
+        Byte-identity argument (DESIGN.md §12): while every simulated piece
+        ends strictly before the engine's :meth:`~repro.sim.engine.Engine.batch_horizon`
+        — i.e. before any other queued event — an unbatched run would pop
+        exactly this process's timeout events back-to-back, with no other
+        process observing the intermediate heap states. World state
+        (speed, thread counts, TLAB geometry, STW flags) can therefore not
+        change mid-span, so it is read once and each piece's cost, event
+        time and feasibility are computed with the same float operations
+        the unbatched path performs. The single committed event consumes
+        the same number of engine sequence numbers and reports the same
+        logical event count, so tie-breaks and traces match exactly.
+
+        Returns the bytes still unallocated (``remaining`` unchanged when
+        nothing could be batched); the caller routes the next piece
+        through the slow path.
+        """
+        world = self.world
+        if world.stw or world.gc_in_progress or dist is None:
+            return remaining
+        engine = world.engine
+        horizon = engine.batch_horizon()
+        if horizon is None:
+            return remaining
+        heap = world.heap
+        tlabs = heap.tlabs
+        tlab_enabled = tlabs.config.enabled
+        tlab_size = tlabs.tlab_size
+        eden = heap.eden
+        eden_cap = eden.capacity
+        waste = tlabs.expected_waste
+        used = eden.used
+        speed = world.mutator_speed()
+        n_threads = world.logical_threads()
+        humongous = world.collector.humongous_threshold()
+        alloc_overhead = world.costs.alloc_overhead
+        t = engine.now
+
+        # Pass 1: simulate the per-piece cost/time/feasibility sequence.
+        pieces = []  # (piece, n_objects, cost, t_hook, t_alloc)
+        n_events = 0
+        while remaining > 0:
+            piece = min(remaining, max_piece)
+            n_objects = max(1.0, piece / mean_object_size)
+            if (piece / max(n_objects, 1.0) >= humongous
+                    or piece > eden_cap * 0.8):
+                break  # humongous routing -> slow path
+            if piece > eden_cap - waste - used + 1e-6:
+                break  # would raise AllocationFailure -> slow path GCs
+            cost = alloc_overhead(
+                n_bytes=piece, n_objects=n_objects,
+                tlab_enabled=tlab_enabled, tlab_size=tlab_size or 1.0,
+                n_threads=n_threads,
+            )
+            t_hook = t
+            if cost > 1e-12:
+                # Same float op as work(): timeout(remaining / speed).
+                t_next = t + cost / speed
+                if not (t_next < horizon):
+                    break  # another event would interleave -> stop the span
+                t = t_next
+                n_events += 1
+            pieces.append((piece, n_objects, cost, t_hook, t))
+            used = min(used + piece, eden_cap)  # mirror Space.add
+            remaining -= piece
+        if not pieces:
+            return remaining
+
+        # Pass 2: commit — tracer hooks, costs and heap mutations in the
+        # exact order and at the exact timestamps of the unbatched run.
+        tracer = world.tracer
+        allocate_bump = heap.allocate_bump
+        hook = tlab_enabled and tlab_size
+        for piece, n_objects, cost, t_hook, t_alloc in pieces:
+            if hook:
+                tracer.tlab_refill(t_hook, piece / tlab_size, tlab_size)
+            if cost > 0:
+                self.alloc_overhead_time += cost
+            allocate_bump(
+                t_alloc, piece, dist,
+                n_objects=n_objects, label=label, window=window,
+            )
+            self.allocated_bytes += piece
+            if accumulate is not None:
+                accumulate[0] += piece
+        if n_events:
+            span_end = Event(engine)
+            span_end._state = TRIGGERED
+            engine.schedule_span(t, span_end, n_events)
+            yield span_end
+        return remaining
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "parked" if self.parked else ("alive" if self.alive else "done")

@@ -87,6 +87,12 @@ def validate_pause_record(record, heap_capacity: Optional[float] = None) -> List
     return problems
 
 
+#: Sentinel distinguishing "attribute was absent" (restore by deletion)
+#: from "attribute was None" (restore by assignment — e.g. the engine's
+#: ``step_hook``, whose slot must stay readable after detach).
+_MISSING = object()
+
+
 class AuditError(ReproError):
     """One or more runtime invariants were violated during an audited run."""
 
@@ -151,7 +157,7 @@ class InvariantAuditor:
     def detach(self) -> None:
         """Restore every instrumented method."""
         for obj, name, original in reversed(self._originals):
-            if original is None:
+            if original is _MISSING:
                 try:
                     delattr(obj, name)
                 except AttributeError:  # pragma: no cover - defensive
@@ -223,7 +229,7 @@ class InvariantAuditor:
         return max(1.0, 1e-6 * abs(magnitude))
 
     def _patch(self, obj, name, replacement) -> None:
-        self._originals.append((obj, name, obj.__dict__.get(name)))
+        self._originals.append((obj, name, obj.__dict__.get(name, _MISSING)))
         setattr(obj, name, replacement)
 
     # ------------------------------------------------------------------
@@ -231,12 +237,9 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
 
     def _wrap_engine(self, engine) -> None:
-        original = engine.step
-
-        def audited_step():
-            before = engine.now
-            original()
-            after = engine.now
+        # The engine is slotted and its run loop inlines step(), so the
+        # clock check rides the first-class step_hook instead of a patch.
+        def audited_step(before: float, after: float) -> None:
             self.counters["steps"] += 1
             if not math.isfinite(after):
                 self._violate("clock", before,
@@ -247,7 +250,8 @@ class InvariantAuditor:
                     f"engine clock ran backwards: {before!r} -> {after!r}",
                 )
 
-        self._patch(engine, "step", audited_step)
+        self._originals.append((engine, "step_hook", engine.step_hook))
+        engine.step_hook = audited_step
 
     # ------------------------------------------------------------------
     # Heap: byte conservation + structural invariants + STW exclusivity

@@ -100,6 +100,13 @@ class CostModel:
                 raise ConfigError(f"{name} must be positive")
         if not (0 <= self.promotion_floor <= 1):
             raise ConfigError("promotion_floor must be in [0, 1]")
+        # Memo tables for the two pure lookups on the per-pause hot path.
+        # Keys are thread counts and configured heap sizes — a handful of
+        # distinct values per run. Attached via object.__setattr__ because
+        # the dataclass is frozen; they are not fields, so eq/repr/replace
+        # ignore them.
+        object.__setattr__(self, "_eff_threads_memo", {})
+        object.__setattr__(self, "_locality_memo", {})
 
     # ------------------------------------------------------------------
     # Parallelism
@@ -120,15 +127,21 @@ class CostModel:
         Saturating speedup with a NUMA damping factor; ``effective_threads(1)
         == 1`` exactly, so serial collectors pay no parallel overhead.
         """
+        value = self._eff_threads_memo.get(n_threads)
+        if value is not None:
+            return value
         if n_threads < 1:
             raise ConfigError("n_threads must be >= 1")
         n = min(n_threads, self.topology.cores)
         if n == 1:
-            return self.serial_bonus
-        speedup = n / (1.0 + self.alpha * (n - 1))
-        nodes = self.topology.nodes_spanned(n)
-        numa = 1.0 / (1.0 + self.numa_gamma * (nodes - 1))
-        return max(speedup * numa, 1.0)
+            value = self.serial_bonus
+        else:
+            speedup = n / (1.0 + self.alpha * (n - 1))
+            nodes = self.topology.nodes_spanned(n)
+            numa = 1.0 / (1.0 + self.numa_gamma * (nodes - 1))
+            value = max(speedup * numa, 1.0)
+        self._eff_threads_memo[n_threads] = value
+        return value
 
     def locality(self, heap_bytes: float) -> float:
         """Bandwidth multiplier for a heap of *heap_bytes* on this machine.
@@ -136,9 +149,14 @@ class CostModel:
         1.0 would be a perfectly node-local heap; the factor decays as the
         heap spans more of the machine's memory (remote accesses dominate).
         """
+        value = self._locality_memo.get(heap_bytes)
+        if value is not None:
+            return value
         if heap_bytes < 0:
             raise ConfigError("heap_bytes must be >= 0")
-        return 1.0 / (1.0 + self.locality_k * heap_bytes / self.topology.ram_bytes)
+        value = 1.0 / (1.0 + self.locality_k * heap_bytes / self.topology.ram_bytes)
+        self._locality_memo[heap_bytes] = value
+        return value
 
     # ------------------------------------------------------------------
     # STW phase durations

@@ -1,0 +1,7 @@
+"""``python -m repro.perf`` — same as the ``repro-perf`` script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

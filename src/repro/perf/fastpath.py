@@ -1,0 +1,34 @@
+"""Kill switch for the batched allocation fast path.
+
+``REPRO_FASTPATH=0`` in the environment disables batching at import time;
+:func:`set_enabled` toggles it at runtime (used by the determinism pins in
+``tests/test_perf.py`` to run the same cell both ways in one process).
+
+This module must stay import-light — ``repro.jvm.threads`` imports it on
+its hot path and anything heavier would recreate the per-call importlib
+cost this PR removes from the engine.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Truthy spellings accepted for REPRO_FASTPATH (anything else disables).
+_FALSEY = frozenset({"0", "false", "no", "off"})
+
+#: Module-global read by the allocation hot path. Mutate only through
+#: :func:`set_enabled` so the single source of truth stays obvious.
+ENABLED: bool = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _FALSEY
+
+
+def enabled() -> bool:
+    """Whether the batched allocation fast path is active."""
+    return ENABLED
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the fast-path gate; returns the previous value (for restore)."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(value)
+    return previous

@@ -1,0 +1,77 @@
+"""Rendering for ``repro-perf`` hot-spot reports.
+
+Plain-text tables (same conventions as :mod:`repro.analysis.report`) and
+a JSON form for machines. The JSON schema is pinned by
+``tests/test_perf.py``; bump ``SCHEMA`` when it changes shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .profile import ProfileResult
+
+SCHEMA = 1
+
+
+def _shorten(func: str, limit: int = 64) -> str:
+    """Trim long ``/abs/path/file.py:123(name)`` rows to their tail."""
+    if len(func) <= limit:
+        return func
+    return "…" + func[-(limit - 1):]
+
+
+def render_text(result: ProfileResult) -> str:
+    """Human-readable hot-spot report for one profiled cell."""
+    lines: List[str] = []
+    lines.append(
+        f"repro-perf: {result.benchmark} [{result.gc}] seed={result.seed} "
+        f"n={result.iterations}" + (" CRASHED" if result.crashed else "")
+    )
+    lines.append(
+        f"  wall {result.wall_s:.3f}s for {result.sim_s:.2f} simulated s "
+        f"({result.sim_rate:.0f}x real time)"
+    )
+    lines.append(
+        f"  {result.events} engine events ({result.events_per_s:,.0f}/s), "
+        f"{result.trace_events} trace events, {result.pauses} GC pauses"
+    )
+    if result.event_kinds:
+        kinds = ", ".join(f"{k}={v}" for k, v in result.event_kinds.items())
+        lines.append(f"  trace mix: {kinds}")
+    if result.hotspots:
+        lines.append("")
+        lines.append(f"  {'tottime':>9}  {'cumtime':>9}  {'ncalls':>9}  function")
+        for h in result.hotspots:
+            lines.append(
+                f"  {h.tottime:9.4f}  {h.cumtime:9.4f}  {h.ncalls:9d}  "
+                f"{_shorten(h.func)}"
+            )
+    return "\n".join(lines)
+
+
+def to_json(result: ProfileResult) -> str:
+    """Machine-readable report (one JSON document)."""
+    doc = {
+        "schema": SCHEMA,
+        "benchmark": result.benchmark,
+        "gc": result.gc,
+        "seed": result.seed,
+        "iterations": result.iterations,
+        "crashed": result.crashed,
+        "wall_s": round(result.wall_s, 6),
+        "sim_s": round(result.sim_s, 6),
+        "sim_rate": round(result.sim_rate, 3),
+        "events": result.events,
+        "events_per_s": round(result.events_per_s, 1),
+        "trace_events": result.trace_events,
+        "pauses": result.pauses,
+        "event_kinds": result.event_kinds,
+        "hotspots": [
+            {"func": h.func, "ncalls": h.ncalls,
+             "tottime": round(h.tottime, 6), "cumtime": round(h.cumtime, 6)}
+            for h in result.hotspots
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -5,10 +5,21 @@ A :class:`Process` drives a generator: each ``yield`` must produce an
 with the event's value. A process may be *interrupted* — an
 :class:`Interrupt` is thrown into the generator at its current yield point,
 which is how the simulated JVM stops mutator threads at safepoints.
+
+Hot-path notes: these classes are instantiated once per simulated event
+(millions per bench run), so the trigger paths push straight onto the
+engine's queue instead of going through :meth:`Engine.schedule` — the
+delay there is a constant ``0.0`` (or a :class:`Timeout` delay validated
+in its constructor), so the extra finiteness re-checks bought nothing.
+State tests read ``_state``/``_ok`` directly rather than through the
+public properties, and each process caches its bound ``_resume`` callback
+instead of materializing a new bound method per wait.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Iterable, List, Optional
 
 from ..errors import SimulationError
@@ -26,6 +37,11 @@ class Event:
     Callbacks (``event.callbacks.append(fn)``) run when the engine
     processes the event; each receives the event itself.
     """
+
+    # Millions of Events live and die per run; __slots__ drops the
+    # per-instance dict. `_defused` is only set on interrupt events but
+    # still needs a slot.
+    __slots__ = ("engine", "callbacks", "value", "_ok", "_state", "_defused")
 
     def __init__(self, engine: Engine):
         self.engine = engine
@@ -59,7 +75,9 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         self._state = TRIGGERED
         self.value = value
-        self.engine.schedule(self, 0.0, priority)
+        engine = self.engine
+        engine._seq += 1
+        heapq.heappush(engine._queue, (engine.now, priority, engine._seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -71,7 +89,9 @@ class Event:
         self._state = TRIGGERED
         self._ok = False
         self.value = exception
-        self.engine.schedule(self, 0.0, priority)
+        engine = self.engine
+        engine._seq += 1
+        heapq.heappush(engine._queue, (engine.now, priority, engine._seq, self))
         return self
 
     # -- engine hook -------------------------------------------------------
@@ -91,14 +111,25 @@ class Event:
 class Timeout(Event):
     """Event that triggers ``delay`` seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: Engine, delay: float, value=None):
-        super().__init__(engine)
-        if delay < 0:
-            raise SimulationError(f"negative Timeout delay: {delay}")
-        self.delay = delay
-        self._state = TRIGGERED  # scheduled immediately, fires at now+delay
+        # `not (0 <= delay < inf)` also catches NaN (all comparisons with
+        # NaN are False), which must never reach the heapq — it would
+        # poison the queue's total order.
+        if not (0.0 <= delay < math.inf):
+            raise SimulationError(f"bad Timeout delay: {delay}")
+        # Flattened Event.__init__ + Engine.schedule: one per simulated
+        # wait, the hottest constructor in the simulator.
+        self.engine = engine
+        self.callbacks = []
         self.value = value
-        engine.schedule(self, delay)
+        self._ok = True
+        self._state = TRIGGERED  # scheduled immediately, fires at now+delay
+        self.delay = delay
+        engine._seq += 1
+        heapq.heappush(engine._queue,
+                       (engine.now + delay, NORMAL, engine._seq, self))
 
 
 class Interrupt(Exception):
@@ -117,15 +148,20 @@ class Process(Event):
     each other: ``yield other_process``.
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb")
+
     def __init__(self, engine: Engine, generator):
         super().__init__(engine)
         if not hasattr(generator, "throw"):
             raise TypeError(f"Process needs a generator, got {generator!r}")
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method for the lifetime of the process; creating a
+        # fresh one per wait showed up in event-chain profiles.
+        self._resume_cb = self._resume
         # Kick off at the current time (urgent so spawning is immediate).
         bootstrap = Event(engine)
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks.append(self._resume_cb)
         bootstrap.succeed(priority=URGENT)
 
     @property
@@ -139,20 +175,22 @@ class Process(Event):
         Interrupting a finished process is an error; interrupting a process
         twice before it handles the first interrupt queues both.
         """
-        if not self.is_alive:
+        if self._state != PENDING:
             raise SimulationError("cannot interrupt a finished process")
         event = Event(self.engine)
         event._ok = False
         event._defused = True
         event.value = Interrupt(cause)
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         event._state = TRIGGERED
-        self.engine.schedule(event, 0.0, URGENT)
+        engine = self.engine
+        engine._seq += 1
+        heapq.heappush(engine._queue, (engine.now, URGENT, engine._seq, event))
 
     # -- driving the generator -----------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._state != PENDING:
             # Interrupt raced with completion; drop it silently only if it
             # was an interrupt, otherwise it's a kernel bug.
             if isinstance(event.value, Interrupt):
@@ -160,14 +198,15 @@ class Process(Event):
             raise SimulationError("resume on finished process")  # pragma: no cover
         # Detach from the event we were waiting on (it may not be `event`
         # when an interrupt preempts the wait).
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
         try:
-            if event.ok:
+            if event._ok:
                 result = self._generator.send(event.value)
             else:
                 result = self._generator.throw(event.value)
@@ -183,22 +222,27 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded {result!r}; processes must yield Events"
             )
-        if result.processed:
+        if result._state == PROCESSED:
             # Already fired: resume immediately (urgent, zero-delay).
             immediate = Event(self.engine)
             immediate.value = result.value
-            immediate._ok = result.ok
-            immediate.callbacks.append(self._resume)
+            immediate._ok = result._ok
+            immediate.callbacks.append(self._resume_cb)
             immediate._state = TRIGGERED
-            self.engine.schedule(immediate, 0.0, URGENT)
+            engine = self.engine
+            engine._seq += 1
+            heapq.heappush(engine._queue,
+                           (engine.now, URGENT, engine._seq, immediate))
             self._target = immediate
         else:
-            result.callbacks.append(self._resume)
+            result.callbacks.append(self._resume_cb)
             self._target = result
 
 
 class AnyOf(Event):
     """Triggers when the first of *events* triggers; value = that event."""
+
+    __slots__ = ("_done",)
 
     def __init__(self, engine: Engine, events: Iterable[Event]):
         super().__init__(engine)

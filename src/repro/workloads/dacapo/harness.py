@@ -100,15 +100,11 @@ class DaCapoBenchmark(Workload):
                 max_piece = max(jvm.heap.config.eden_bytes / 8.0, 64 * 1024)
                 for _q in range(quanta):
                     yield from ctx.work(cpu)
-                    remaining = batch
-                    while remaining > 0:
-                        piece = min(remaining, max_piece)
-                        yield from ctx.allocate(
-                            piece, dist,
-                            n_objects=max(1.0, piece / p.alloc.mean_object_size),
-                            window=cpu, label=p.name,
-                        )
-                        remaining -= piece
+                    yield from ctx.allocate_all(
+                        batch, dist,
+                        mean_object_size=p.alloc.mean_object_size,
+                        max_piece=max_piece, window=cpu, label=p.name,
+                    )
 
             procs = [
                 jvm.spawn_mutator(worker_body, f"{p.name}-w{g}") for g in range(groups)

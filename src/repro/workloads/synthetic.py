@@ -122,16 +122,12 @@ class SyntheticWorkload(Workload):
                 max_piece = max(jvm.heap.config.eden_bytes / 8.0, 64 * KB)
                 for _q in range(p.quanta):
                     yield from ctx.work(cpu)
-                    remaining = batch
-                    while remaining > 0:
-                        piece = min(remaining, max_piece)
-                        yield from ctx.allocate(
-                            piece, d,
-                            n_objects=max(1.0, piece / p.mean_object_size),
-                            window=cpu, label=p.name,
-                        )
-                        acc[0] += piece
-                        remaining -= piece
+                    yield from ctx.allocate_all(
+                        batch, d,
+                        mean_object_size=p.mean_object_size,
+                        max_piece=max_piece, window=cpu, label=p.name,
+                        accumulate=acc,
+                    )
                     if p.dirty_rate > 0:
                         yield from jvm.world.dirty_cards(p.dirty_rate * cpu)
 

@@ -145,10 +145,10 @@ class TestLifecycle:
         jvm = JVM(small_jvm_config())
         auditor = InvariantAuditor().attach(jvm)
         assert "minor_collection" in jvm.heap.__dict__
-        assert "step" in jvm.engine.__dict__
+        assert jvm.engine.step_hook is not None  # slotted: hook, not patch
         auditor.detach()
         assert "minor_collection" not in jvm.heap.__dict__
-        assert "step" not in jvm.engine.__dict__
+        assert jvm.engine.step_hook is None
         assert "record" not in jvm.gc_log.__dict__
 
     def test_double_attach_rejected(self, small_jvm_config):

@@ -40,9 +40,10 @@ from .executors import (
 from .progress import ProgressReporter
 from .runner import CampaignResult, CampaignStats, run_campaign
 from .spec import CampaignSpec
-from .store import ResultStore
+from .store import ResultStore, store_status
 
 __all__ = [
+    "store_status",
     "CampaignResult",
     "CampaignSpec",
     "CampaignStats",

@@ -19,6 +19,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -29,7 +30,7 @@ from ..studies import GridSpec
 from .progress import ProgressReporter
 from .runner import CampaignResult, run_campaign
 from .spec import CampaignSpec
-from .store import ResultStore
+from .store import ResultStore, store_status
 
 
 def _add_grid_args(parser: argparse.ArgumentParser) -> None:
@@ -134,21 +135,23 @@ def resume_cmd(args) -> int:
 
 
 def status_cmd(args) -> int:
-    """``repro-campaign status``: inspect a store."""
-    store = ResultStore(args.store)
-    manifest = store.read_manifest()
-    rows = []
-    for entry in manifest.get("campaigns", []):
-        spec = CampaignSpec.from_dict(entry["spec"])
-        digests = {c.digest() for cells in spec.cell_specs() for c in cells}
-        ok = sum(1 for d in digests if (store.get(d) or {}).get("status") == "ok")
-        failed = sum(1 for d in digests if (store.get(d) or {}).get("status") == "failed")
-        rows.append([spec.name, len(digests), ok, failed, len(digests) - ok - failed])
-    print(f"store {store.root}: {len(store)} records "
-          f"({len(store.ok_digests())} ok, {len(store.failed_digests())} failed)")
-    if store.quarantined_lines:
-        print(f"quarantined {store.quarantined_lines} corrupt record line(s)")
-    if rows:
+    """``repro-campaign status``: inspect a store.
+
+    Text by default; ``--json`` emits the :func:`store_status` schema the
+    ``repro-serve`` status endpoint shares, so CI and service tooling
+    parse one format.
+    """
+    status = store_status(ResultStore(args.store))
+    if getattr(args, "json", False):
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"store {status['root']}: {status['records']} records "
+          f"({status['ok']} ok, {status['failed']} failed)")
+    if status["quarantined_lines"]:
+        print(f"quarantined {status['quarantined_lines']} corrupt record line(s)")
+    if status["campaigns"]:
+        rows = [[c["name"], c["cells"], c["ok"], c["failed"], c["missing"]]
+                for c in status["campaigns"]]
         print(render_table(["campaign", "cells", "ok", "failed", "missing"], rows))
     else:
         print("no campaigns recorded in the manifest")
@@ -193,6 +196,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_status = sub.add_parser("status", help="inspect a result store")
     p_status.add_argument("--store", required=True)
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable store/campaign stats "
+                               "(same schema as the repro-serve status "
+                               "endpoint's `store` section)")
     p_status.set_defaults(fn=status_cmd)
 
     p_clean = sub.add_parser("clean", help="drop records from a store")

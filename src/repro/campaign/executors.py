@@ -15,6 +15,7 @@ in submission order, and leaves the retry/quarantine policy to the
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -29,7 +30,17 @@ from .cells import CellSpec
 @dataclass
 class CellFailure:
     """One cell's infrastructure failure (the *worker* broke, not the
-    simulated JVM — simulated crashes are ``RunResult.crashed``)."""
+    simulated JVM — simulated crashes are ``RunResult.crashed``).
+
+    A failure routinely crosses process and protocol boundaries (pickled
+    back from a worker, recorded in the store, sent to a ``repro-serve``
+    client), and the live exception object must never travel with it:
+    exceptions are frequently unpicklable and never JSON-encodable. The
+    ``exc`` field is therefore local-process-only — :meth:`__getstate__`
+    folds it into ``error`` before pickling, and :meth:`to_json` /
+    :meth:`from_json` (the round trip both the campaign quarantine
+    report and the serve failure responses use) carry strings only.
+    """
 
     cell: CellSpec
     kind: str                   #: "exception" | "timeout" | "broken-pool"
@@ -39,6 +50,29 @@ class CellFailure:
     def format(self) -> str:
         """One-line description for logs and quarantine reports."""
         return f"[{self.kind}] {self.cell.benchmark}/{self.cell.gc}/seed={self.cell.seed}: {self.error}"
+
+    def __getstate__(self):
+        """Pickle without the live exception (workers' exceptions may not
+        unpickle on the other side); its text is preserved in ``error``."""
+        state = dict(self.__dict__)
+        exc = state.pop("exc", None)
+        if exc is not None and not state.get("error"):
+            state["error"] = f"{type(exc).__name__}: {exc}"
+        state["exc"] = None
+        return state
+
+    def to_json(self) -> dict:
+        """JSON-safe projection (strings only; ``exc`` never included)."""
+        error = self.error
+        if not error and self.exc is not None:
+            error = f"{type(self.exc).__name__}: {self.exc}"
+        return {"cell": self.cell.to_dict(), "kind": self.kind, "error": error}
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CellFailure":
+        """Inverse of :meth:`to_json` (``exc`` is gone by design)."""
+        return cls(cell=CellSpec.from_dict(d["cell"]), kind=str(d["kind"]),
+                   error=str(d["error"]))
 
 
 Outcome = Union[RunResult, CellFailure]
@@ -56,6 +90,22 @@ class SerialExecutor:
     executor: `run_grid`'s historical behaviour)."""
 
     name = "serial"
+
+    def open(self) -> None:
+        """No-op (interface parity with :class:`ProcessExecutor`)."""
+
+    def close(self) -> None:
+        """No-op (interface parity with :class:`ProcessExecutor`)."""
+
+    def run_one(self, cell: CellSpec, fn: CellFn, *,
+                timeout: Optional[float] = None) -> Outcome:
+        """Run a single cell in this process (``timeout`` unenforced, as
+        in :meth:`run_cells` — there is no second process to keep it)."""
+        try:
+            return fn(cell)
+        except Exception as exc:
+            return CellFailure(cell=cell, kind="exception",
+                               error=f"{type(exc).__name__}: {exc}", exc=exc)
 
     def run_cells(self, cells: Sequence[CellSpec], fn: CellFn, *,
                   timeout: Optional[float] = None,
@@ -93,6 +143,88 @@ class ProcessExecutor:
         if workers is not None and workers < 1:
             raise ConfigError("workers must be >= 1")
         self.workers = workers or default_workers()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        #: Pools discarded after a crash/timeout (supervision metric).
+        self.pools_recycled = 0
+
+    # -- persistent-pool lifecycle (service mode) -----------------------
+    #
+    # `run_cells` owns a transient pool per sweep; a long-lived service
+    # instead calls `open()` once and `run_one()` per job, and the
+    # executor *supervises* its pool: a worker death (BrokenProcessPool)
+    # or a timed-out job poisons the pool, so it is discarded and lazily
+    # rebuilt — one bad cell never takes the service down with it.
+
+    def open(self) -> None:
+        """Create the persistent pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _checkout_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def _recycle_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Discard *pool* (broken or hosting a stuck job); the next
+        :meth:`run_one` builds a fresh one."""
+        with self._pool_lock:
+            if self._pool is not pool:
+                return          # someone already swapped it out
+            self._pool = None
+            self.pools_recycled += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_one(self, cell: CellSpec, fn: CellFn, *,
+                timeout: Optional[float] = None) -> Outcome:
+        """Run a single cell on the persistent pool (thread-safe).
+
+        Worker death comes back as a ``broken-pool`` :class:`CellFailure`
+        and the pool is replaced, so the caller can simply retry; a
+        timeout likewise recycles the pool (the stuck worker is abandoned
+        rather than joined — the deadline is the contract).
+        """
+        pool = self._checkout_pool()
+        try:
+            future = pool.submit(fn, cell)
+        except RuntimeError as exc:    # pool torn down under us
+            self._recycle_pool(pool)
+            return CellFailure(cell=cell, kind="broken-pool",
+                               error=str(exc) or "pool shut down", exc=exc)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            self._recycle_pool(pool)
+            return CellFailure(
+                cell=cell, kind="timeout",
+                error=f"cell exceeded {timeout}s wall-clock budget",
+            )
+        except BrokenProcessPool as exc:
+            self._recycle_pool(pool)
+            return CellFailure(cell=cell, kind="broken-pool",
+                               error=str(exc) or "worker process died",
+                               exc=exc)
+        except Exception as exc:
+            return CellFailure(cell=cell, kind="exception",
+                               error=f"{type(exc).__name__}: {exc}", exc=exc)
 
     def run_cells(self, cells: Sequence[CellSpec], fn: CellFn, *,
                   timeout: Optional[float] = None,

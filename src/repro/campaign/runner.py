@@ -178,8 +178,7 @@ def run_campaign(spec: CampaignSpec, *,
                 quarantined.append(failure)
                 stats.quarantined += 1
                 if store is not None:
-                    store.record_failure(failure.cell, failure.kind,
-                                         failure.error, attempts=attempt + 1)
+                    store.record_cell_failure(failure, attempts=attempt + 1)
                 if reporter is not None:
                     reporter.advance(failed=True)
             break

@@ -18,10 +18,16 @@ re-simulated cell, not the sweep.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
 from typing import Dict, Iterator, List, Optional, Tuple
+
+try:                            # POSIX only; the store degrades to
+    import fcntl                # lock-free appends elsewhere.
+except ImportError:             # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..errors import ConfigError
 from ..jvm import RunResult
@@ -29,6 +35,7 @@ from .cells import CellSpec, decode_run, encode_run
 
 MANIFEST_NAME = "manifest.json"
 RECORDS_NAME = "records.jsonl"
+LOCK_NAME = ".lock"
 
 #: Store format version; readers reject newer majors.
 STORE_VERSION = 1
@@ -41,6 +48,9 @@ class ResultStore:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._records: Dict[str, dict] = {}
+        #: Digests deliberately removed here (``drop_failures``) — kept so
+        #: a merging :meth:`compact` does not resurrect them from disk.
+        self._dropped: set = set()
         self.quarantined_lines = 0
         self._load()
 
@@ -56,13 +66,44 @@ class ResultStore:
         """Path of the JSONL record file."""
         return self.root / RECORDS_NAME
 
+    @property
+    def lock_path(self) -> pathlib.Path:
+        """Path of the sidecar advisory-lock file."""
+        return self.root / LOCK_NAME
+
+    # -- cross-process locking ------------------------------------------
+
+    @contextlib.contextmanager
+    def locked(self):
+        """Hold the store's advisory lock (``flock`` on a sidecar file).
+
+        Every mutation — record appends, compaction, manifest rewrites —
+        runs under this lock, so a long-lived ``repro-serve`` service and
+        a concurrent ``repro-campaign`` invocation sharing one store
+        serialize their writes instead of interleaving partial JSONL
+        lines. Advisory and re-entrant-free by design: keep critical
+        sections short. No-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:       # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.lock_path, "a") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
     # -- loading --------------------------------------------------------
 
-    def _load(self) -> None:
-        if not self.records_path.exists():
-            return
+    @staticmethod
+    def _scan_records(path: pathlib.Path) -> Tuple[Dict[str, dict], int]:
+        """Parse *path* into ``(records-by-digest, corrupt-line-count)``;
+        duplicates resolve last-write-wins, undecodable lines are counted
+        instead of raising."""
+        records: Dict[str, dict] = {}
         corrupt = 0
-        with open(self.records_path) as fh:
+        with open(path) as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -77,7 +118,16 @@ class ResultStore:
                 if status == "ok" and "run" not in rec:
                     corrupt += 1
                     continue
-                self._records[digest] = rec  # duplicates: last write wins
+                records[digest] = rec
+        return records, corrupt
+
+    def _load(self) -> None:
+        if not self.records_path.exists():
+            return
+        # Read under the lock so a concurrent appender's half-written
+        # final line cannot be mistaken for corruption.
+        with self.locked():
+            self._records, corrupt = self._scan_records(self.records_path)
         self.quarantined_lines = corrupt
         if corrupt:
             # Drop the undecodable lines on disk so they are quarantined
@@ -117,10 +167,11 @@ class ResultStore:
     # -- writes ---------------------------------------------------------
 
     def _append(self, rec: dict) -> None:
-        with open(self.records_path, "a") as fh:
-            fh.write(json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        with self.locked():
+            with open(self.records_path, "a") as fh:
+                fh.write(json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
         self._records[rec["digest"]] = rec
 
     def record_ok(self, cell: CellSpec, result: RunResult) -> None:
@@ -146,23 +197,45 @@ class ResultStore:
             "attempts": attempts,
         })
 
+    def record_cell_failure(self, failure, attempts: int) -> None:
+        """Persist a :class:`~repro.campaign.executors.CellFailure` via
+        its JSON projection (the ``exc`` field never reaches disk)."""
+        d = failure.to_json()
+        self.record_failure(failure.cell, d["kind"], d["error"],
+                            attempts=attempts)
+
     def compact(self) -> None:
-        """Rewrite the record file from memory: drops corrupt lines and
-        superseded duplicates. Atomic (write + rename)."""
+        """Rewrite the record file: drops corrupt lines, superseded
+        duplicates and locally-dropped digests. Atomic (write + rename)
+        and concurrency-safe: the on-disk state is re-read and merged
+        under the store lock first, so records appended by another
+        process (a running service, a parallel campaign) since our load
+        survive the rewrite instead of being silently discarded.
+        """
         tmp = self.records_path.with_suffix(".jsonl.tmp")
-        with open(tmp, "w") as fh:
-            for digest in sorted(self._records):
-                fh.write(json.dumps(self._records[digest], sort_keys=True,
-                                    separators=(",", ":")) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp.replace(self.records_path)
+        with self.locked():
+            merged: Dict[str, dict] = {}
+            if self.records_path.exists():
+                merged, _ = self._scan_records(self.records_path)
+            for digest in self._dropped:
+                merged.pop(digest, None)
+            merged.update(self._records)
+            self._records = merged
+            self._dropped = set()
+            with open(tmp, "w") as fh:
+                for digest in sorted(self._records):
+                    fh.write(json.dumps(self._records[digest], sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(self.records_path)
 
     def drop_failures(self) -> int:
         """Remove failure records (so the next run retries them)."""
         failed = self.failed_digests()
         for digest in failed:
             del self._records[digest]
+            self._dropped.add(digest)
         if failed:
             self.compact()
         return len(failed)
@@ -171,8 +244,10 @@ class ResultStore:
         """Remove every record (the manifest is kept)."""
         n = len(self._records)
         self._records.clear()
-        if self.records_path.exists():
-            self.records_path.unlink()
+        self._dropped = set()
+        with self.locked():
+            if self.records_path.exists():
+                self.records_path.unlink()
         return n
 
     # -- manifest -------------------------------------------------------
@@ -193,18 +268,24 @@ class ResultStore:
         return manifest
 
     def register_campaign(self, entry: dict) -> None:
-        """Idempotently add a campaign entry (keyed by its spec digest)."""
-        manifest = self.read_manifest()
-        campaigns = [c for c in manifest.get("campaigns", [])
-                     if c.get("digest") != entry.get("digest")]
-        campaigns.append(entry)
-        manifest["campaigns"] = campaigns
-        manifest["version"] = STORE_VERSION
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        with open(tmp, "w") as fh:
-            json.dump(manifest, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        tmp.replace(self.manifest_path)
+        """Idempotently add a campaign entry (keyed by its spec digest).
+
+        The read-modify-write runs under the store lock so concurrent
+        registrants (service + campaign CLI) cannot lose each other's
+        entries.
+        """
+        with self.locked():
+            manifest = self.read_manifest()
+            campaigns = [c for c in manifest.get("campaigns", [])
+                         if c.get("digest") != entry.get("digest")]
+            campaigns.append(entry)
+            manifest["campaigns"] = campaigns
+            manifest["version"] = STORE_VERSION
+            tmp = self.manifest_path.with_suffix(".json.tmp")
+            with open(tmp, "w") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            tmp.replace(self.manifest_path)
 
     # -- export ---------------------------------------------------------
 
@@ -236,3 +317,42 @@ class ResultStore:
             writer = csv.writer(fh)
             writer.writerow(GRID_CSV_COLUMNS)
             writer.writerows(self.to_rows())
+
+
+def store_status(store: ResultStore) -> Dict[str, object]:
+    """Machine-readable store/campaign statistics.
+
+    The one code path behind ``repro-campaign status`` (text and
+    ``--json``) and the ``repro-serve`` ``status`` endpoint's ``store``
+    section, so CI and service clients consume an identical schema::
+
+        {"version", "root", "records", "ok", "failed",
+         "quarantined_lines",
+         "campaigns": [{"name", "digest", "cells", "ok", "failed",
+                        "missing"}, ...]}
+    """
+    from .spec import CampaignSpec
+
+    campaigns: List[Dict[str, object]] = []
+    for entry in store.read_manifest().get("campaigns", []):
+        spec = CampaignSpec.from_dict(entry["spec"])
+        digests = {c.digest() for cells in spec.cell_specs() for c in cells}
+        ok = sum(1 for d in digests if (store.get(d) or {}).get("status") == "ok")
+        failed = sum(1 for d in digests if (store.get(d) or {}).get("status") == "failed")
+        campaigns.append({
+            "name": spec.name,
+            "digest": entry.get("digest"),
+            "cells": len(digests),
+            "ok": ok,
+            "failed": failed,
+            "missing": len(digests) - ok - failed,
+        })
+    return {
+        "version": STORE_VERSION,
+        "root": str(store.root),
+        "records": len(store),
+        "ok": len(store.ok_digests()),
+        "failed": len(store.failed_digests()),
+        "quarantined_lines": store.quarantined_lines,
+        "campaigns": campaigns,
+    }

@@ -17,7 +17,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-trace``     — record/report/export/diff JFR-style telemetry
   traces (see :mod:`repro.telemetry`);
 * ``repro-perf``      — profile the simulator itself: hot-spot report and
-  engine event rates for one cell (see :mod:`repro.perf`).
+  engine event rates for one cell (see :mod:`repro.perf`);
+* ``repro-serve``     — the async experiment service: submit jobs over a
+  socket, served from the shared result cache (see :mod:`repro.serve`).
 
 ``repro-dacapo --audit`` additionally attaches the runtime
 :class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
@@ -296,6 +298,13 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 def perf_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-perf``: profile the simulator itself."""
     from .perf.cli import main
+
+    return main(argv)
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-serve``: the async experiment service."""
+    from .serve.cli import main
 
     return main(argv)
 

@@ -59,6 +59,20 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class ProtocolError(ReproError):
+    """A malformed, oversized or otherwise invalid message on the
+    ``repro-serve`` wire protocol.
+
+    Carries an HTTP-flavoured status *code* so service responses can
+    distinguish client mistakes (400 bad request, 413 oversized line)
+    from service conditions (429 queue full, 503 draining).
+    """
+
+    def __init__(self, message: str, code: int = 400):
+        self.code = int(code)
+        super().__init__(message)
+
+
 class BenchmarkCrash(ReproError):
     """A (simulated) benchmark crashed.
 

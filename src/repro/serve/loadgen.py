@@ -1,0 +1,181 @@
+"""Synthetic open-loop load generator for the experiment service.
+
+Replays a YCSB-style request mix against a running ``repro-serve``
+instance: *ops* requests arrive on a fixed open-loop schedule (op *i* at
+``i / rps`` seconds, regardless of how previous requests fare — the
+paper's client-side methodology, where stalled requests pile up behind a
+GC pause instead of politely waiting), spread round-robin over *clients*
+persistent connections. The job mix is drawn deterministically from the
+template list via :func:`repro.seeding.rng_for`, so two runs with one
+seed submit the identical job sequence.
+
+The report closes the loop with the paper's Fig. 5 / Tables 5-7 client
+analysis: per-request latencies feed
+:func:`repro.analysis.latency.latency_band_stats`, with the service's
+reported execution intervals standing in for GC pauses — the service's
+"stop-the-world" moments are the cache-miss simulations, and the bands
+show how completely the high-latency tail is explained by them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.latency import LatencyBandStats, gc_overlap_fraction, latency_band_stats
+from ..analysis.report import render_table
+from ..errors import ConfigError
+from ..seeding import rng_for
+from .client import ServiceClient
+from .service import WALL_CLOCK
+
+
+@dataclass
+class LoadConfig:
+    """One load run: how many requests, how fast, over what mix."""
+
+    templates: List[dict]               #: job payloads to draw from
+    clients: int = 4                    #: persistent connections
+    rps: float = 50.0                   #: open-loop arrival rate (req/s)
+    ops: int = 100                      #: total requests
+    seed: int = 0                       #: mix-selection seed
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    timeout: Optional[float] = 120.0    #: per-request client-side budget
+
+    def __post_init__(self):
+        if not self.templates:
+            raise ConfigError("load mix needs at least one job template")
+        if self.clients < 1:
+            raise ConfigError("clients must be >= 1")
+        if self.ops < 1:
+            raise ConfigError("ops must be >= 1")
+        if not self.rps > 0:
+            raise ConfigError("rps must be > 0")
+
+
+@dataclass
+class LoadReport:
+    """Client-side observations of one load run."""
+
+    ops: int
+    completed: int = 0
+    cached: int = 0
+    rejected: int = 0
+    failed: int = 0
+    errors: int = 0
+    #: Send time (s since run start) per completed request.
+    op_times: List[float] = field(default_factory=list)
+    #: Client-observed latency (ms) per completed request.
+    latencies_ms: List[float] = field(default_factory=list)
+    #: Service execution intervals (s since run start) of cache misses —
+    #: the service's GC-pause analogue for the band correlation.
+    exec_intervals: List[Tuple[float, float]] = field(default_factory=list)
+
+    def band_stats(self) -> Optional[LatencyBandStats]:
+        """Tables 5-7-style latency bands (None without completions)."""
+        if not self.latencies_ms:
+            return None
+        op_times = np.asarray(self.op_times, dtype=float)
+        lat = np.asarray(self.latencies_ms, dtype=float)
+        order = np.argsort(op_times, kind="stable")
+        intervals = (np.asarray(sorted(self.exec_intervals), dtype=float)
+                     if self.exec_intervals else np.zeros((0, 2)))
+        return latency_band_stats(op_times[order], lat[order], intervals)
+
+    def overlap_fraction(self, threshold_factor: float = 2.0) -> float:
+        """Fraction of >``threshold_factor``x-AVG latencies overlapping a
+        service execution interval (Fig. 5's observation 2)."""
+        if not self.latencies_ms:
+            return 0.0
+        op_times = np.asarray(self.op_times, dtype=float)
+        lat = np.asarray(self.latencies_ms, dtype=float)
+        order = np.argsort(op_times, kind="stable")
+        intervals = (np.asarray(sorted(self.exec_intervals), dtype=float)
+                     if self.exec_intervals else np.zeros((0, 2)))
+        return gc_overlap_fraction(op_times[order], lat[order], intervals,
+                                   threshold_factor=threshold_factor)
+
+    def render(self) -> str:
+        """Human-readable report (the ``repro-serve load`` output)."""
+        lines = [
+            f"load: {self.ops} ops -> {self.completed} completed, "
+            f"{self.rejected} rejected, {self.failed} failed, "
+            f"{self.errors} errors",
+            f"cache hits: {self.cached}/{self.ops}",
+        ]
+        stats = self.band_stats()
+        if stats is not None:
+            lines.append(
+                f"latency: avg {stats.avg_ms:.3f} ms, "
+                f"min {stats.min_ms:.3f} ms, max {stats.max_ms:.3f} ms")
+            lines.append(
+                "exec-overlap of >2x AVG latencies: "
+                f"{100.0 * self.overlap_fraction():.1f}%")
+            rows = [[label, value] for label, value in stats.rows()]
+            lines.append(render_table(["band", "value"], rows,
+                                      title="client latency bands "
+                                            "(paper Tables 5-7 style)"))
+        return "\n".join(lines)
+
+
+async def run_load(config: LoadConfig, *, clock=None) -> LoadReport:
+    """Drive one open-loop load run and return its report."""
+    tick = clock if clock is not None else WALL_CLOCK
+    rng = rng_for(config.seed, "serve.loadgen")
+    choices = [int(c) for c in
+               rng.integers(0, len(config.templates), size=config.ops)]
+    clients = []
+    for _ in range(min(config.clients, config.ops)):
+        clients.append(await ServiceClient.connect(
+            config.socket_path, config.host, config.port))
+    report = LoadReport(ops=config.ops)
+    samples: List[Optional[Tuple[float, float]]] = [None] * config.ops
+    t0 = tick()
+
+    async def one(i: int) -> None:
+        client = clients[i % len(clients)]
+        delay = (t0 + i / config.rps) - tick()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        t_send = tick()
+        try:
+            resp = await client.submit(config.templates[choices[i]],
+                                       timeout=config.timeout)
+        except Exception:
+            report.errors += 1
+            return
+        t_resp = tick()
+        kind = resp.get("type")
+        if kind == "result":
+            report.completed += 1
+            samples[i] = (t_send - t0, (t_resp - t_send) * 1e3)
+            meta = resp.get("meta") or {}
+            if resp.get("cached"):
+                report.cached += 1
+            elif meta.get("exec_s"):
+                # Reconstruct the service's execution window on the
+                # client clock: no shared epoch needed.
+                report.exec_intervals.append(
+                    (t_resp - t0 - float(meta["exec_s"]), t_resp - t0))
+        elif kind == "rejected":
+            report.rejected += 1
+        elif kind == "failed":
+            report.failed += 1
+        else:
+            report.errors += 1
+
+    try:
+        await asyncio.gather(*[one(i) for i in range(config.ops)])
+    finally:
+        for client in clients:
+            await client.close()
+    for sample in samples:
+        if sample is not None:
+            report.op_times.append(round(sample[0], 6))
+            report.latencies_ms.append(round(sample[1], 6))
+    return report

@@ -1,0 +1,540 @@
+"""The asyncio GC-experiment service behind ``repro-serve``.
+
+Architecture (DESIGN.md §13)::
+
+    client ──ndjson──▶ connection handler ──▶ admission ──▶ queue
+                                              │   │             │
+                                  cache hit ◀─┘   └─ reject      ▼
+                                 (ResultStore)    (429/503)   worker tasks
+                                                              │  offload
+                                                              ▼  thread
+                                                     executor.run_one
+                                                     (serial | supervised
+                                                      process pool)
+
+* **Admission** is explicit: a submit is answered with ``queued``,
+  a cache-served ``result``, or a ``rejected`` (429 when the bounded
+  queue is full, 503 while draining) — never silence, never a hang.
+* **Dedup/coalescing**: submissions whose cell digest matches an
+  in-flight job attach to it instead of re-queueing; identical requests
+  cost one simulation no matter how many clients ask.
+* **Caching**: results are read from and written to the same
+  content-addressed :class:`~repro.campaign.store.ResultStore` the
+  campaign runner uses (appends run under the store's advisory file
+  lock), so the service and ``repro-campaign`` share one cache.
+* **Supervision**: worker failures (:class:`CellFailure` — crash,
+  timeout, broken pool) are retried up to ``retries`` times, then the
+  cell is quarantined exactly as the campaign runner would; a dead
+  process pool is recycled by the executor, never fatal to the service.
+* **Drain**: SIGTERM (or a ``drain`` request) stops admission, lets
+  queued and in-flight jobs finish, then exits cleanly.
+
+Determinism: simulation happens in :func:`repro.campaign.cells.run_cell`
+exactly as on the campaign path; the service adds *no* configuration of
+its own to a cell, so a served ``run`` payload is byte-identical (under
+canonical JSON dumping) to the campaign's for the same job. Wall-clock
+readings exist only in service metadata (``meta``, stats, events) and
+come from an injected clock, keeping simulation paths SL001-clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..campaign.cells import CellSpec, encode_run, run_cell
+from ..campaign.executors import CellFailure, get_executor
+from ..campaign.store import ResultStore, store_status
+from ..errors import ConfigError, ProtocolError
+from ..telemetry.metrics import MetricsRegistry
+from . import protocol
+from .protocol import PROTOCOL_VERSION
+
+#: Default clock (referenced, not called, at import time — the service is
+#: observational infrastructure; simulated results never see it).
+WALL_CLOCK: Callable[[], float] = time.monotonic
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one :class:`ExperimentService` instance needs."""
+
+    store: Optional[str] = None         #: ResultStore directory (None = no cache)
+    socket_path: Optional[str] = None   #: Unix socket (preferred for local use)
+    host: str = "127.0.0.1"             #: TCP bind host (when no socket_path)
+    port: int = 0                       #: TCP port (0 = ephemeral)
+    queue_limit: int = 64               #: admission bound (429 beyond it)
+    workers: int = 2                    #: concurrent in-service job slots
+    executor: str = "serial"            #: "serial" | "process"
+    pool_workers: Optional[int] = None  #: process-pool size (process executor)
+    timeout: Optional[float] = None     #: per-job wall-clock budget (seconds)
+    retries: int = 1                    #: retries before quarantine
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+
+    def __post_init__(self):
+        if self.queue_limit < 1:
+            raise ConfigError("queue_limit must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+
+
+class _Connection:
+    """One client connection: serialized writes, tolerant of disconnects."""
+
+    __slots__ = ("writer", "_lock", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self._lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, msg: Dict[str, object]) -> bool:
+        """Write one message; False (never an exception) if the client
+        has gone away — a subscriber hanging up mid-stream must not take
+        a worker or the server loop down with it."""
+        if self.closed:
+            return False
+        async with self._lock:
+            if self.closed:
+                return False
+            try:
+                self.writer.write(protocol.encode(msg))
+                await self.writer.drain()
+                return True
+            except (ConnectionError, RuntimeError, OSError):
+                self.closed = True
+                return False
+
+    def close(self) -> None:
+        self.closed = True
+        with contextlib.suppress(Exception):
+            self.writer.close()
+
+
+class _Job:
+    """One admitted cell: its waiters and its service-side bookkeeping."""
+
+    __slots__ = ("cell", "digest", "attempts", "futures", "enqueued", "started")
+
+    def __init__(self, cell: CellSpec, digest: str, enqueued: float):
+        self.cell = cell
+        self.digest = digest
+        self.attempts = 0
+        self.futures: List[asyncio.Future] = []
+        self.enqueued = enqueued
+        self.started: Optional[float] = None
+
+
+class ExperimentService:
+    """Async experiment service: admission, dedup, cache, supervision.
+
+    *cell_fn* defaults to the campaign's :func:`run_cell`; tests inject
+    doctored functions (slow, crashing, worker-killing) to exercise the
+    robustness paths without faking simulator behaviour.
+    """
+
+    def __init__(self, config: ServiceConfig, *,
+                 cell_fn: Callable[[CellSpec], object] = run_cell,
+                 clock: Optional[Callable[[], float]] = None):
+        self.config = config
+        self._cell_fn = cell_fn
+        self._clock = clock if clock is not None else WALL_CLOCK
+        self.store = ResultStore(config.store) if config.store else None
+        self.executor = get_executor(config.executor,
+                                     workers=config.pool_workers)
+        self.metrics = MetricsRegistry()
+        self.address: Optional[object] = None
+
+        self._queue: "asyncio.Queue[_Job]" = asyncio.Queue()
+        self._inflight: Dict[str, _Job] = {}
+        self._conns: Set[_Connection] = set()
+        self._subscribers: Set[_Connection] = set()
+        self._workers: List[asyncio.Task] = []
+        self._tasks: Set[asyncio.Task] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._offload: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._t0 = self._clock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker tasks."""
+        loop = asyncio.get_running_loop()
+        if hasattr(self.executor, "open"):
+            self.executor.open()
+        self._offload = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="serve-exec")
+        self._workers = [loop.create_task(self._worker_loop())
+                         for _ in range(self.config.workers)]
+        limit = self.config.max_line_bytes + 1024
+        if self.config.socket_path:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.config.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=self.config.socket_path, limit=limit)
+            self.address = self.config.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=self.config.host,
+                port=self.config.port, limit=limit)
+            self.address = self._server.sockets[0].getsockname()[:2]
+        self._t0 = self._clock()
+
+    async def run(self, *, handle_signals: bool = True) -> int:
+        """Serve until drained (SIGTERM/SIGINT or a ``drain`` request).
+
+        Returns a process exit code: 0 for a clean drain, 1 when any
+        cell was quarantined while serving.
+        """
+        await self.start()
+        if handle_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(
+                    sig, lambda: self._spawn(self.drain()))
+        await self._stopped.wait()
+        await self.close()
+        return 1 if self.metrics.counter("jobs.quarantined").value else 0
+
+    async def drain(self) -> Dict[str, object]:
+        """Stop admission, wait for queued + in-flight jobs, then stop.
+
+        Idempotent; returns the final stats snapshot.
+        """
+        if not self._draining:
+            self._draining = True
+            self._publish("draining")
+            self._check_idle()
+        await self._idle.wait()
+        stats = self.stats()
+        self._publish("drained")
+        self._stopped.set()
+        return stats
+
+    async def close(self) -> None:
+        """Tear everything down (no draining — see :meth:`drain`)."""
+        for task in self._workers + list(self._tasks):
+            task.cancel()
+        for task in self._workers + list(self._tasks):
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._workers, self._tasks = [], set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            conn.close()
+        self._conns.clear()
+        self._subscribers.clear()
+        if self._offload is not None:
+            self._offload.shutdown(wait=False)
+            self._offload = None
+        if hasattr(self.executor, "close"):
+            self.executor.close()
+        if self.config.socket_path:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.config.socket_path)
+        self._stopped.set()
+
+    # -- stats / events ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The status endpoint's snapshot (also the drain report)."""
+        m = self.metrics
+        hits = m.counter("cache.hits").value
+        simulated = m.counter("jobs.simulated").value
+        served = hits + simulated
+        pauses = m.histogram("gc.pause_seconds")
+        pause_summary: Dict[str, object] = {"count": pauses.total_count}
+        if pauses.total_count:
+            pause_summary.update(pauses.percentiles((50.0, 99.0, 99.9)))
+            pause_summary["max"] = pauses.max_raw or 0.0
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "draining": self._draining,
+            "uptime_s": round(self._clock() - self._t0, 6),
+            "queue": {
+                "depth": self._queue.qsize(),
+                "limit": self.config.queue_limit,
+                "inflight": len(self._inflight),
+            },
+            "workers": {
+                "configured": self.config.workers,
+                "alive": sum(1 for t in self._workers if not t.done()),
+                "executor": self.executor.name,
+                "pools_recycled": getattr(self.executor, "pools_recycled", 0),
+            },
+            "cache": {
+                "hits": hits,
+                "misses": simulated,
+                "hit_rate": round(hits / served, 6) if served else None,
+            },
+            "pauses": pause_summary,
+            "subscribers": len(self._subscribers),
+            "metrics": m.to_dict(),
+            "store": store_status(self.store) if self.store else None,
+        }
+
+    def _publish(self, kind: str, **fields) -> None:
+        """Fan one lifecycle/GC event out to every subscriber."""
+        if not self._subscribers:
+            return
+        event: Dict[str, object] = {
+            "kind": kind, "t": round(self._clock() - self._t0, 6)}
+        event.update(fields)
+        msg = protocol.event_msg(event)
+        for conn in list(self._subscribers):
+            if conn.closed:
+                self._subscribers.discard(conn)
+            else:
+                self._spawn(conn.send(msg))
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        self._conns.add(conn)
+        self.metrics.counter("connections.opened").inc()
+        try:
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError:
+                    break           # client hung up (possibly mid-line)
+                except asyncio.LimitOverrunError:
+                    self.metrics.counter("protocol.errors").inc()
+                    await conn.send(protocol.error_msg(
+                        None, 413,
+                        f"line exceeds the {self.config.max_line_bytes}-byte "
+                        "limit"))
+                    break           # framing is lost; drop the connection
+                except (ConnectionError, OSError):
+                    break
+                if not line.strip():
+                    continue
+                await self._dispatch(conn, line)
+        finally:
+            self._conns.discard(conn)
+            self._subscribers.discard(conn)
+            conn.close()
+            self.metrics.counter("connections.closed").inc()
+
+    async def _dispatch(self, conn: _Connection, line: bytes) -> None:
+        rid: Optional[object] = None
+        try:
+            msg = protocol.decode(line,
+                                  max_bytes=self.config.max_line_bytes)
+            rid = msg.get("id")
+            op, rid = protocol.parse_request(msg)
+        except ProtocolError as exc:
+            self.metrics.counter("protocol.errors").inc()
+            await conn.send(protocol.error_msg(rid, exc.code, str(exc)))
+            return
+        if op == "ping":
+            await conn.send(protocol.pong_msg(rid))
+        elif op == "status":
+            await conn.send(protocol.stats_msg(rid, self.stats()))
+        elif op == "subscribe":
+            self._subscribers.add(conn)
+            await conn.send(protocol.subscribed_msg(rid))
+        elif op == "drain":
+            await conn.send(protocol.draining_msg(rid))
+            self._spawn(self._drain_and_report(conn, rid))
+        elif op == "submit":
+            await self._handle_submit(conn, rid, msg.get("job"))
+
+    async def _drain_and_report(self, conn: _Connection, rid) -> None:
+        stats = await self.drain()
+        await conn.send(protocol.drained_msg(rid, stats))
+
+    # -- admission ----------------------------------------------------------
+
+    async def _handle_submit(self, conn: _Connection, rid, job: object) -> None:
+        m = self.metrics
+        m.counter("jobs.submitted").inc()
+        if self._draining:
+            m.counter("jobs.rejected").inc()
+            await conn.send(protocol.rejected_msg(
+                rid, 503, "service is draining"))
+            return
+        try:
+            cell = protocol.job_to_cell(job)
+        except ProtocolError as exc:
+            m.counter("protocol.errors").inc()
+            await conn.send(protocol.error_msg(rid, exc.code, str(exc)))
+            return
+        digest = cell.digest()
+
+        hit = self.store.get_run(digest) if self.store is not None else None
+        if hit is not None:
+            m.counter("cache.hits").inc()
+            self._observe_pauses(hit)
+            meta = {"cached": True, "attempts": 0, "queued_s": 0.0,
+                    "exec_s": 0.0, "exec_interval": None}
+            self._publish("cache-hit", digest=digest[:12],
+                          benchmark=cell.benchmark, gc=cell.gc)
+            await conn.send(protocol.result_msg(
+                rid, digest, encode_run(hit), cached=True, meta=meta))
+            return
+
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            # Coalesce: one simulation answers every identical submit.
+            m.counter("jobs.coalesced").inc()
+            future = asyncio.get_running_loop().create_future()
+            existing.futures.append(future)
+            await conn.send(protocol.queued_msg(
+                rid, digest, position=self._queue.qsize()))
+            self._spawn(self._await_result(conn, rid, future))
+            return
+
+        if self._queue.qsize() >= self.config.queue_limit:
+            m.counter("jobs.rejected").inc()
+            await conn.send(protocol.rejected_msg(
+                rid, 429,
+                f"admission queue full ({self.config.queue_limit} jobs)"))
+            return
+
+        jobrec = _Job(cell, digest, self._clock())
+        future = asyncio.get_running_loop().create_future()
+        jobrec.futures.append(future)
+        self._inflight[digest] = jobrec
+        self._queue.put_nowait(jobrec)
+        m.counter("jobs.accepted").inc()
+        m.gauge("queue.depth").set(self._queue.qsize())
+        self._publish("queued", digest=digest[:12],
+                      benchmark=cell.benchmark, gc=cell.gc, seed=cell.seed)
+        await conn.send(protocol.queued_msg(
+            rid, digest, position=self._queue.qsize()))
+        self._spawn(self._await_result(conn, rid, future))
+
+    async def _await_result(self, conn: _Connection, rid,
+                            future: asyncio.Future) -> None:
+        kind, digest, payload, meta = await future
+        if kind == "result":
+            await conn.send(protocol.result_msg(
+                rid, digest, payload, cached=False, meta=meta))
+        else:
+            await conn.send(protocol.failed_msg(rid, digest, payload,
+                                                meta=meta))
+
+    # -- execution ----------------------------------------------------------
+
+    def _run_one(self, cell: CellSpec):
+        """Thread-offloaded: run one cell on the supervised executor."""
+        return self.executor.run_one(cell, self._cell_fn,
+                                     timeout=self.config.timeout)
+
+    async def _worker_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        m = self.metrics
+        while True:
+            job = await self._queue.get()
+            m.gauge("queue.depth").set(self._queue.qsize())
+            job.started = self._clock()
+            job.attempts += 1
+            self._publish("started", digest=job.digest[:12],
+                          benchmark=job.cell.benchmark, gc=job.cell.gc,
+                          attempt=job.attempts)
+            try:
+                outcome = await loop.run_in_executor(
+                    self._offload, self._run_one, job.cell)
+            except Exception as exc:   # offload infrastructure itself broke
+                outcome = CellFailure(cell=job.cell, kind="exception",
+                                      error=f"{type(exc).__name__}: {exc}",
+                                      exc=exc)
+            finished = self._clock()
+            if isinstance(outcome, CellFailure):
+                if job.attempts <= self.config.retries:
+                    m.counter("jobs.retried").inc()
+                    self._publish("retrying", digest=job.digest[:12],
+                                  failure_kind=outcome.kind,
+                                  error=outcome.error, attempt=job.attempts)
+                    self._queue.put_nowait(job)
+                    continue
+                self._quarantine(job, outcome, finished)
+            else:
+                self._complete(job, outcome, finished)
+            self._check_idle()
+
+    def _job_meta(self, job: _Job, finished: float) -> Dict[str, object]:
+        started = job.started if job.started is not None else finished
+        return {
+            "cached": False,
+            "attempts": job.attempts,
+            "queued_s": round(started - job.enqueued, 6),
+            "exec_s": round(finished - started, 6),
+            "exec_interval": [round(started - self._t0, 6),
+                              round(finished - self._t0, 6)],
+        }
+
+    def _complete(self, job: _Job, result, finished: float) -> None:
+        m = self.metrics
+        if self.store is not None:
+            self.store.record_ok(job.cell, result)
+        self._observe_pauses(result)
+        meta = self._job_meta(job, finished)
+        m.counter("jobs.simulated").inc()
+        m.histogram("service.exec_s", unit=1e-6).record(meta["exec_s"])
+        m.histogram("service.queued_s", unit=1e-6).record(meta["queued_s"])
+        self._inflight.pop(job.digest, None)
+        log = result.gc_log
+        self._publish("completed", digest=job.digest[:12],
+                      benchmark=job.cell.benchmark, gc=job.cell.gc,
+                      exec_s=meta["exec_s"], pauses=log.count,
+                      full_pauses=log.full_count,
+                      max_pause_s=round(log.max_pause, 6),
+                      total_pause_s=round(log.total_pause, 6),
+                      crashed=result.crashed)
+        encoded = encode_run(result)
+        for future in job.futures:
+            if not future.done():
+                future.set_result(("result", job.digest, encoded, meta))
+
+    def _quarantine(self, job: _Job, failure: CellFailure,
+                    finished: float) -> None:
+        m = self.metrics
+        m.counter("jobs.quarantined").inc()
+        if self.store is not None:
+            self.store.record_cell_failure(failure, attempts=job.attempts)
+        meta = self._job_meta(job, finished)
+        self._inflight.pop(job.digest, None)
+        self._publish("quarantined", digest=job.digest[:12],
+                      failure_kind=failure.kind, error=failure.error,
+                      attempts=job.attempts)
+        payload = failure.to_json()
+        payload["attempts"] = job.attempts
+        for future in job.futures:
+            if not future.done():
+                future.set_result(("failed", job.digest, payload, meta))
+
+    def _observe_pauses(self, result) -> None:
+        """Merge a served run's pause durations into the service-wide
+        pause histogram (the status endpoint's P50/P99/P99.9 source)."""
+        hist = self.metrics.histogram("gc.pause_seconds")
+        for pause in result.gc_log.pauses:
+            hist.record(pause.duration)
+
+    def _check_idle(self) -> None:
+        if (self._draining and not self._inflight
+                and self._queue.qsize() == 0):
+            self._idle.set()

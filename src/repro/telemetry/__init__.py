@@ -10,11 +10,14 @@ The observability subsystem of the simulated JVM (DESIGN.md §11):
 * :mod:`~repro.telemetry.ring` — the bounded event buffer (tracing never
   grows without bound, drops are counted);
 * :mod:`~repro.telemetry.export` — JSONL traces, Chrome ``trace_event``
-  JSON (Perfetto-openable) and text reports, used by ``repro-trace``.
+  JSON (Perfetto-openable) and text reports, used by ``repro-trace``;
+* :mod:`~repro.telemetry.metrics` — counters/gauges/histogram registry
+  behind the ``repro-serve`` status endpoint (DESIGN.md §13).
 """
 
 from .events import TraceEvent
 from .hist import LogHistogram, percentile_rows
+from .metrics import Counter, Gauge, MetricsRegistry
 from .ring import EventRing
 from .tracer import NULL_TRACER, NullTracer, Tracer
 from .export import (Trace, read_trace, render_diff, render_report,
@@ -25,4 +28,5 @@ __all__ = [
     "NULL_TRACER", "NullTracer", "Tracer", "Trace", "read_trace",
     "render_diff", "render_report", "to_chrome", "validate_chrome",
     "write_chrome", "write_trace",
+    "Counter", "Gauge", "MetricsRegistry",
 ]

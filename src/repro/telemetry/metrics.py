@@ -1,0 +1,109 @@
+"""Service metrics: named counters, gauges and latency histograms.
+
+The ``repro-serve`` service (DESIGN.md §13) needs the same observability
+discipline the simulator has — every number queryable, deterministic to
+serialize, cheap to keep — but over *service* phenomena (admissions,
+rejections, cache hits, queue depth) rather than simulated ones. This
+module is the small registry behind the service's ``status`` endpoint:
+monotonic :class:`Counter`\\ s, last-value :class:`Gauge`\\ s and
+:class:`~repro.telemetry.hist.LogHistogram`\\ s (the audited histogram
+already backing every pause percentile) keyed by name.
+
+Nothing here reads a clock: durations are *recorded into* histograms by
+callers that own their own time source, so the registry stays usable
+from simulation-adjacent code without tripping lint rule SL001.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .hist import LogHistogram
+
+#: Percentiles exported for each histogram in :meth:`MetricsRegistry.to_dict`.
+_SUMMARY_QS: Sequence[float] = (50.0, 99.0, 99.9)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        """Add *n* (default 1); returns the new value."""
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """A named last-written value (queue depth, worker liveness...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of counters, gauges and histograms.
+
+    ``registry.counter("jobs.completed").inc()`` is the whole API;
+    :meth:`to_dict` renders a deterministic (sorted-name) JSON-safe
+    snapshot with percentile summaries for histograms.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._hists: Dict[str, LogHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named *name* (created at zero on first use)."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named *name* (created at zero on first use)."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, unit: float = 1e-6) -> LogHistogram:
+        """The histogram named *name* (created empty on first use).
+
+        *unit* only applies at creation; later calls return the existing
+        histogram unchanged.
+        """
+        if name not in self._hists:
+            self._hists[name] = LogHistogram(unit=unit)
+        return self._hists[name]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot, deterministically ordered by name."""
+        hists: Dict[str, object] = {}
+        for name in sorted(self._hists):
+            h = self._hists[name]
+            summary: Dict[str, object] = {
+                "count": h.total_count,
+                "mean": h.mean,
+                "max": h.max_raw or 0.0,
+            }
+            if h.total_count:
+                summary.update(h.percentiles(_SUMMARY_QS))
+            hists[name] = summary
+        return {
+            "counters": {n: self._counters[n].value
+                         for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": hists,
+        }

@@ -407,3 +407,65 @@ class TestCampaignSummary:
         assert "campaign 'tiny'" in text
         assert "cached 0/2" in text
         assert "grid 0: 2 cells" in text
+
+
+# ----------------------------------------------------------------------
+# CellFailure serialization (crosses process and protocol boundaries)
+# ----------------------------------------------------------------------
+
+
+class TestCellFailureSerialization:
+    def _failure(self):
+        from repro.campaign.executors import CellFailure
+
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        try:
+            raise RuntimeError("worker exploded")
+        except RuntimeError as exc:
+            return CellFailure(cell=cell, kind="exception",
+                               error="RuntimeError: worker exploded", exc=exc)
+
+    def test_pickle_round_trip_drops_live_exception(self):
+        import pickle
+
+        failure = self._failure()
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone.exc is None
+        assert clone.cell == failure.cell
+        assert clone.kind == "exception"
+        assert "worker exploded" in clone.error
+
+    def test_pickle_preserves_error_text_from_exc(self):
+        import pickle
+
+        from repro.campaign.executors import CellFailure
+
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0)
+        failure = CellFailure(cell=cell, kind="exception", error="",
+                              exc=ValueError("boom"))
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone.error == "ValueError: boom"
+
+    def test_json_round_trip(self):
+        from repro.campaign.executors import CellFailure
+
+        failure = self._failure()
+        d = failure.to_json()
+        # Must be directly JSON-encodable — no exception object inside.
+        wire = json.loads(json.dumps(d, sort_keys=True))
+        clone = CellFailure.from_json(wire)
+        assert clone.cell.digest() == failure.cell.digest()
+        assert clone.kind == failure.kind
+        assert clone.error == failure.error
+        assert clone.exc is None
+
+    def test_store_records_via_json_projection(self, tmp_path):
+        failure = self._failure()
+        store = ResultStore(tmp_path / "store")
+        store.record_cell_failure(failure, attempts=3)
+        rec = store.get(failure.cell.digest())
+        assert rec["status"] == "failed"
+        assert rec["kind"] == "exception" and rec["attempts"] == 3
+        assert "worker exploded" in rec["error"]
+        assert "exc" not in rec

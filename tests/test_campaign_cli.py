@@ -114,3 +114,41 @@ class TestDaCapoProgress:
         assert rc == 0
         err = capsys.readouterr().err
         assert "iterations 1/2" in err and "iterations 2/2" in err
+
+
+class TestStatusJson:
+    """`status --json` shares one schema with the serve status endpoint."""
+
+    def test_schema(self, tmp_path, capsys):
+        import json
+
+        store = tmp_path / "store"
+        campaign_main(run_args(store))
+        capsys.readouterr()
+        assert campaign_main(["status", "--store", str(store), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert set(status) == {"version", "root", "records", "ok", "failed",
+                               "quarantined_lines", "campaigns"}
+        assert status["records"] == status["ok"] == 2
+        assert status["failed"] == status["quarantined_lines"] == 0
+        (campaign,) = status["campaigns"]
+        assert set(campaign) == {"name", "digest", "cells", "ok", "failed",
+                                 "missing"}
+        assert campaign["name"] == "smoke"
+        assert campaign["cells"] == campaign["ok"] == 2
+        assert campaign["missing"] == 0
+
+    def test_matches_serve_status_endpoint_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.campaign import ResultStore
+        from repro.campaign.store import store_status
+
+        store = tmp_path / "store"
+        campaign_main(run_args(store))
+        capsys.readouterr()
+        campaign_main(["status", "--store", str(store), "--json"])
+        via_cli = json.loads(capsys.readouterr().out)
+        # The service's stats()["store"] section is the same function.
+        via_api = store_status(ResultStore(store))
+        assert via_cli == via_api

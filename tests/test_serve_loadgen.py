@@ -1,0 +1,110 @@
+"""Tests for the repro-serve open-loop load generator."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.seeding import rng_for
+from repro.serve import ExperimentService, LoadConfig, ServiceConfig, run_load
+
+#: Two tiny distinct jobs: the mix has cache-hit opportunities.
+TEMPLATES = [
+    {"benchmark": "lusearch", "gc": "Serial", "heap": "1g",
+     "young": "256m", "seed": s, "iterations": 2}
+    for s in (0, 1)
+]
+
+
+def run_with_service(tmp_path, config_kw, load_kw):
+    async def main():
+        svc = ExperimentService(ServiceConfig(
+            store=str(tmp_path / "store"),
+            socket_path=str(tmp_path / "serve.sock"), **config_kw))
+        await svc.start()
+        try:
+            load = LoadConfig(socket_path=svc.config.socket_path, **load_kw)
+            return await run_load(load), svc.stats()
+        finally:
+            await svc.close()
+
+    return asyncio.run(main())
+
+
+class TestLoadRun:
+    def test_open_loop_mix_completes_and_hits_cache(self, tmp_path):
+        report, stats = run_with_service(
+            tmp_path, {"workers": 2},
+            {"templates": TEMPLATES, "clients": 3, "rps": 400.0, "ops": 12,
+             "seed": 0, "timeout": 60.0})
+        assert report.completed == 12
+        assert report.rejected == report.failed == report.errors == 0
+        # 12 ops over 2 distinct cells: at most 2 simulations; the rest
+        # were cache hits or coalesced onto an in-flight twin.
+        assert stats["metrics"]["counters"]["jobs.simulated"] <= 2
+        hits = stats["cache"]["hits"]
+        coalesced = stats["metrics"]["counters"].get("jobs.coalesced", 0)
+        assert hits + coalesced == 12 - stats["cache"]["misses"]
+        assert report.cached == hits
+        # Client-side observations are complete and aligned.
+        assert len(report.op_times) == len(report.latencies_ms) == 12
+        # Ops answered by a live simulation (misses + coalesced waiters)
+        # each contribute one execution interval to the correlation.
+        assert len(report.exec_intervals) == 12 - report.cached
+
+    def test_band_stats_and_render(self, tmp_path):
+        report, _ = run_with_service(
+            tmp_path, {"workers": 2},
+            {"templates": TEMPLATES, "clients": 2, "rps": 400.0, "ops": 8,
+             "seed": 1, "timeout": 60.0})
+        stats = report.band_stats()
+        assert stats is not None
+        rows = dict(stats.rows())
+        assert rows["AVG(ms)"] > 0
+        assert 0.0 <= report.overlap_fraction() <= 1.0
+        text = report.render()
+        # The CI smoke job greps for this exact line shape.
+        assert f"cache hits: {report.cached}/8" in text
+        assert "client latency bands" in text
+
+    def test_rejections_counted_not_raised(self, tmp_path):
+        # A drained service refuses all submissions with 503s; the load
+        # generator must report them, not crash or hang.
+        async def main():
+            svc = ExperimentService(ServiceConfig(
+                socket_path=str(tmp_path / "serve.sock"), workers=1))
+            await svc.start()
+            svc._draining = True
+            try:
+                load = LoadConfig(templates=TEMPLATES, clients=2, rps=400.0,
+                                  ops=6, socket_path=svc.config.socket_path,
+                                  timeout=30.0)
+                return await run_load(load)
+            finally:
+                await svc.close()
+
+        report = asyncio.run(main())
+        assert report.rejected == 6 and report.completed == 0
+        assert report.band_stats() is None
+        assert "6 rejected" in report.render()
+
+
+class TestDeterministicMix:
+    def test_mix_choice_is_seeded(self):
+        a = rng_for(7, "serve.loadgen").integers(0, 2, size=20)
+        b = rng_for(7, "serve.loadgen").integers(0, 2, size=20)
+        c = rng_for(8, "serve.loadgen").integers(0, 2, size=20)
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+
+
+class TestLoadConfigValidation:
+    @pytest.mark.parametrize("kw", [
+        {"templates": []},
+        {"templates": TEMPLATES, "clients": 0},
+        {"templates": TEMPLATES, "ops": 0},
+        {"templates": TEMPLATES, "rps": 0.0},
+    ])
+    def test_bad_config_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            LoadConfig(**kw)

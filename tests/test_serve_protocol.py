@@ -1,0 +1,128 @@
+"""Tests for the repro-serve wire protocol: framing and validation."""
+
+import json
+
+import pytest
+
+from repro.campaign.cells import CellSpec
+from repro.errors import ProtocolError
+from repro.serve import protocol
+
+
+class TestDecode:
+    def test_round_trip(self):
+        msg = {"op": "submit", "id": 7, "job": {"benchmark": "xalan"}}
+        line = protocol.encode(msg)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert protocol.decode(line) == msg
+
+    def test_encode_is_canonical(self):
+        a = protocol.encode({"b": 1, "a": 2})
+        b = protocol.encode({"a": 2, "b": 1})
+        assert a == b == b'{"a":2,"b":1}\n'
+
+    def test_oversized_line_is_413(self):
+        line = b'{"op": "ping", "pad": "' + b"x" * 64 + b'"}\n'
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode(line, max_bytes=32)
+        assert err.value.code == 413
+
+    @pytest.mark.parametrize("line", [
+        b"not json at all\n",
+        b'{"truncated": \n',
+        b"\xff\xfe garbage bytes\n",
+        b'[1, 2, 3]\n',            # valid JSON, not an object
+        b'"just a string"\n',
+        b"42\n",
+    ])
+    def test_malformed_or_non_object_is_400(self, line):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode(line)
+        assert err.value.code == 400
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request({"op": "explode", "id": 1})
+        assert err.value.code == 400 and "explode" in str(err.value)
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request({"id": 1})
+
+    def test_parse_request_returns_id(self):
+        assert protocol.parse_request({"op": "ping", "id": 9}) == ("ping", 9)
+        assert protocol.parse_request({"op": "ping"}) == ("ping", None)
+
+
+class TestJobValidation:
+    def test_job_to_cell_canonicalizes_like_campaign(self):
+        job = {"benchmark": "xalan", "gc": "G1", "heap": "16g",
+               "young": "256m", "seed": 3, "iterations": 2}
+        cell = protocol.job_to_cell(job)
+        want = CellSpec.from_axes("xalan", "G1", "16g", "256m", 3,
+                                  iterations=2)
+        assert cell == want and cell.digest() == want.digest()
+
+    def test_defaults_applied(self):
+        cell = protocol.job_to_cell({"benchmark": "xalan"})
+        same = protocol.job_to_cell({"benchmark": "xalan",
+                                     "gc": "ParallelOld", "seed": 0})
+        assert cell.digest() == same.digest()
+        assert cell.iterations == 10
+
+    @pytest.mark.parametrize("job,fragment", [
+        ("xalan", "must be a JSON object"),
+        ([1], "must be a JSON object"),
+        ({}, "missing required field 'benchmark'"),
+        ({"benchmark": "xalan", "bogus": 1}, "unknown job field"),
+        ({"benchmark": "xalan", "overrides": [1]}, "must be an object"),
+        ({"benchmark": "xalan", "gc": "NotAGC"}, "invalid job"),
+        ({"benchmark": "xalan", "heap": "one gig"}, "invalid job"),
+    ])
+    def test_bad_jobs_are_400(self, job, fragment):
+        with pytest.raises(ProtocolError) as err:
+            protocol.job_to_cell(job)
+        assert err.value.code == 400 and fragment in str(err.value)
+
+
+class TestResponses:
+    def test_responses_carry_version_and_id(self):
+        for msg in (
+            protocol.queued_msg(1, "d" * 64, position=2),
+            protocol.result_msg(2, "d" * 64, {}, cached=True, meta={}),
+            protocol.failed_msg(3, "d" * 64, {"kind": "timeout"}, meta={}),
+            protocol.rejected_msg(4, 429, "full"),
+            protocol.error_msg(5, 400, "bad"),
+            protocol.stats_msg(6, {}),
+            protocol.pong_msg(7),
+            protocol.subscribed_msg(8),
+            protocol.draining_msg(9),
+            protocol.drained_msg(10, {}),
+        ):
+            assert msg["v"] == protocol.PROTOCOL_VERSION
+            assert "id" in msg and "type" in msg
+            # Every response must survive the wire.
+            assert protocol.decode(protocol.encode(msg)) == msg
+
+    def test_event_has_no_id(self):
+        msg = protocol.event_msg({"kind": "queued"})
+        assert msg["type"] == "event" and "id" not in msg
+
+    def test_rejection_codes_visible(self):
+        msg = protocol.rejected_msg(1, 429, "admission queue full (2 jobs)")
+        assert msg["code"] == 429 and "queue full" in msg["reason"]
+
+
+class TestWireCompat:
+    def test_plain_text_protocol(self):
+        # The protocol must stay nc-scriptable: a hand-written line parses.
+        line = b'{"op":"status","id":"abc"}\n'
+        op, rid = protocol.parse_request(protocol.decode(line))
+        assert op == "status" and rid == "abc"
+
+    def test_digest_stability_across_paths(self):
+        # A job dict and its JSON round trip hit the same cache slot.
+        job = {"benchmark": "lusearch", "gc": "CMS", "heap": "2g", "seed": 1}
+        direct = protocol.job_to_cell(job)
+        wired = protocol.job_to_cell(json.loads(json.dumps(job)))
+        assert direct.digest() == wired.digest()

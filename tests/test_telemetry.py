@@ -346,3 +346,48 @@ class TestLintStaysClean:
         # Zero findings and zero new baseline entries.
         assert [f.format() for f in result.findings] == []
         assert result.baselined == []
+
+
+class TestMetricsRegistry:
+    """The counters/gauges/histograms behind repro-serve's status."""
+
+    def test_create_on_first_use_and_identity(self):
+        from repro.telemetry import MetricsRegistry
+
+        m = MetricsRegistry()
+        assert m.counter("a").inc() == 1
+        assert m.counter("a").inc(2) == 3
+        assert m.counter("a") is m.counter("a")
+        m.gauge("g").set(7.5)
+        assert m.gauge("g").value == 7.5
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_snapshot_is_deterministic_and_json_safe(self):
+        import json
+
+        from repro.telemetry import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc(4)
+        m.gauge("depth").set(3)
+        for v in (0.001, 0.002, 0.004):
+            m.histogram("lat").record(v)
+        snap = m.to_dict()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 4, "b": 1}
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["max"] == pytest.approx(0.004)
+        assert hist["p50"] >= 0.001
+        # Stable under re-serialization (the status endpoint contract).
+        assert json.dumps(snap, sort_keys=True) == json.dumps(m.to_dict(),
+                                                              sort_keys=True)
+
+    def test_empty_histogram_summary(self):
+        from repro.telemetry import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.histogram("empty")
+        snap = m.to_dict()["histograms"]["empty"]
+        assert snap == {"count": 0, "mean": 0.0, "max": 0.0}

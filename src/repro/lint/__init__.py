@@ -3,11 +3,18 @@
 Two halves, one discipline:
 
 * **simlint** (static): an AST-based analysis pass with pluggable rules
-  (SL001-SL006) enforcing the determinism and accounting properties the
-  reproduction's figures depend on. Run it with ``repro-lint`` or
-  ``python -m repro.lint``. See :mod:`repro.lint.rules` for the rule
-  set, :mod:`repro.lint.suppress` for ``# simlint: disable=...`` and
-  :mod:`repro.lint.baseline` for the committed-baseline workflow.
+  enforcing the determinism and accounting properties the reproduction's
+  figures depend on. The SL0xx family checks one file at a time
+  (:mod:`repro.lint.rules`); the SL1xx family runs over a whole-program
+  call graph (:mod:`repro.lint.graph`, :mod:`repro.lint.rules_wp`) —
+  async-blocking reachability, determinism taint
+  (:mod:`repro.lint.taint`), lock discipline and executor pickle-safety.
+  Run it with ``repro-lint`` (add ``--wp`` for the whole-program pass) or
+  ``python -m repro.lint``. See :mod:`repro.lint.suppress` for
+  ``# simlint: disable=...`` / ``off``/``on`` blocks,
+  :mod:`repro.lint.baseline` for the content-anchored committed-baseline
+  workflow, :mod:`repro.lint.config` for ``[tool.simlint]`` and
+  :mod:`repro.lint.sarif` for SARIF 2.1.0 CI output.
 * **InvariantAuditor** (dynamic): runtime verification hooks for JVM
   debug runs — the simulator's ``-XX:+VerifyBeforeGC``/``AfterGC``. See
   :mod:`repro.lint.audit`.
@@ -20,27 +27,58 @@ from .audit import (
     PAUSE_RECORD_SCHEMA,
     validate_pause_record,
 )
-from .baseline import DEFAULT_BASELINE, finding_key, load_baseline, write_baseline
-from .core import FileContext, Finding, LintResult, Rule, lint_file, run_lint
+from .baseline import (
+    DEFAULT_BASELINE,
+    assign_keys,
+    finding_key,
+    load_baseline,
+    load_justifications,
+    write_baseline,
+)
+from .config import LintConfig
+from .core import (
+    FileContext,
+    Finding,
+    LintError,
+    LintResult,
+    ProjectRule,
+    Rule,
+    lint_file,
+    run_lint,
+)
+from .graph import ProjectContext
 from .rules import RULES_BY_ID, default_rules
-from .suppress import SuppressionTable
+from .rules_wp import WP_RULES_BY_ID, default_wp_rules
+from .suppress import Directive, SuppressionTable
+from .taint import TaintAnalysis, TaintWitness
 
 __all__ = [
     "AuditError",
     "AuditViolation",
     "DEFAULT_BASELINE",
+    "Directive",
     "FileContext",
     "Finding",
     "InvariantAuditor",
+    "LintConfig",
+    "LintError",
     "LintResult",
     "PAUSE_RECORD_SCHEMA",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "RULES_BY_ID",
     "SuppressionTable",
+    "TaintAnalysis",
+    "TaintWitness",
+    "WP_RULES_BY_ID",
+    "assign_keys",
     "default_rules",
+    "default_wp_rules",
     "finding_key",
     "lint_file",
     "load_baseline",
+    "load_justifications",
     "run_lint",
     "validate_pause_record",
     "write_baseline",

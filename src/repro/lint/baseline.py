@@ -3,21 +3,30 @@
 A baseline records *accepted* findings so a new rule can land without
 first fixing (or suppressing) every historical violation: findings whose
 key appears in the baseline are reported separately and do not fail the
-run. The key is content-based — ``rule-id`` + path + a hash of the
-offending source line — so it survives unrelated edits that renumber
-lines, and goes stale (correctly) when the offending line itself changes.
+run. Keys are **content-anchored**: ``rule-id : path : normalized-line
+hash : occurrence index``. The hash is over the offending source line
+with whitespace collapsed, so edits elsewhere in the file (the classic
+line-number churn) never touch the baseline; the occurrence index
+disambiguates identical lines (two ``time.sleep(1)`` in one file are two
+entries), counted in line order per ``(rule, path, hash)`` group. A key
+goes stale — correctly — only when the offending line itself changes.
 
-Format: one entry per line, ``rule-id:path:content-hash``; ``#`` comments
-and blank lines are ignored. The file is committed; regenerate with
-``repro-lint --write-baseline`` and review the diff like any other code
-change.
+Format: one entry per line::
+
+    SL002:tests/test_ycsb.py:9c4f1a2b33d08e71:0  # fixture seed, single stream
+
+``#`` starts a justification comment; the driver ignores it for matching
+but the committed file is expected to carry one per entry (enforced by
+``tests/test_lint.py``) — a baseline entry is a debt marker, and debt
+without a reason is just rot. Regenerate with ``repro-lint
+--write-baseline`` and review the diff like any other code change.
 """
 
 from __future__ import annotations
 
 import hashlib
 import pathlib
-from typing import Iterable, List, Set
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from .core import Finding
 
@@ -25,37 +34,98 @@ from .core import Finding
 DEFAULT_BASELINE = ".simlint-baseline"
 
 _HEADER = (
-    "# simlint baseline — accepted findings, one `rule:path:hash` per line.\n"
+    "# simlint baseline — accepted findings, one `rule:path:hash:n` per line.\n"
+    "# The hash is over the whitespace-normalized offending line; `n` is the\n"
+    "# occurrence index among identical lines. Justify every entry after `#`.\n"
     "# Regenerate with `repro-lint --write-baseline`; keep this file under\n"
     "# review: every entry is a debt marker, not a licence.\n"
 )
 
+#: Placeholder emitted by ``--write-baseline``; committers replace it.
+_JUSTIFY_PLACEHOLDER = "justify: <why is this finding accepted?>"
 
-def finding_key(finding: Finding) -> str:
-    """Stable content-based key for one finding."""
-    digest = hashlib.sha256(
-        f"{finding.rule_id}|{finding.source_line}".encode("utf-8")
+
+def normalize_line(text: str) -> str:
+    """Whitespace-collapsed form of a source line (the hashed content)."""
+    return " ".join(text.split())
+
+
+def _content_hash(finding: Finding) -> str:
+    return hashlib.sha256(
+        f"{finding.rule_id}|{normalize_line(finding.source_line)}".encode("utf-8")
     ).hexdigest()[:16]
+
+
+def finding_key(finding: Finding, occurrence: int = 0) -> str:
+    """Content-anchored key for one finding at a given occurrence index."""
     path = pathlib.PurePath(finding.path).as_posix()
-    return f"{finding.rule_id}:{path}:{digest}"
+    return f"{finding.rule_id}:{path}:{_content_hash(finding)}:{occurrence}"
+
+
+def assign_keys(findings: Sequence[Finding]) -> List[Tuple[Finding, str]]:
+    """Pair every finding with its occurrence-indexed key.
+
+    Occurrences are counted in ``(path, line)`` order within each
+    ``(rule, path, content-hash)`` group, so writing and matching agree
+    regardless of the order findings were produced in.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule_id))
+    counters: Dict[Tuple[str, str, str], int] = {}
+    keyed = {}
+    for f in ordered:
+        group = (f.rule_id, pathlib.PurePath(f.path).as_posix(), _content_hash(f))
+        n = counters.get(group, 0)
+        counters[group] = n + 1
+        keyed[id(f)] = finding_key(f, n)
+    return [(f, keyed[id(f)]) for f in findings]
 
 
 def load_baseline(path) -> Set[str]:
-    """Read baseline keys from *path* (missing file -> empty set)."""
+    """Read baseline keys from *path* (missing file -> empty set).
+
+    Justification comments (anything after ``#``) are stripped; they are
+    for reviewers, not the matcher.
+    """
     p = pathlib.Path(path)
     if not p.exists():
         return set()
     keys: Set[str] = set()
     for line in p.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if line and not line.startswith("#"):
+        line = line.split("#", 1)[0].strip()
+        if line:
             keys.add(line)
     return keys
 
 
-def write_baseline(path, findings: Iterable[Finding]) -> List[str]:
-    """Write a baseline accepting *findings*; returns the sorted keys."""
-    keys = sorted({finding_key(f) for f in findings})
-    body = _HEADER + "".join(f"{k}\n" for k in keys)
-    pathlib.Path(path).write_text(body, encoding="utf-8")
+def load_justifications(path) -> Dict[str, str]:
+    """Key → justification comment for every baseline entry (may be '')."""
+    p = pathlib.Path(path)
+    out: Dict[str, str] = {}
+    if not p.exists():
+        return out
+    for line in p.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("#"):
+            continue
+        key, _, comment = line.partition("#")
+        key = key.strip()
+        if key:
+            out[key] = comment.strip()
+    return out
+
+
+def write_baseline(path, findings: Iterable[Finding],
+                   justifications: Dict[str, str] = None) -> List[str]:
+    """Write a baseline accepting *findings*; returns the sorted keys.
+
+    Existing justifications (pass ``load_justifications`` output) are
+    preserved across a regeneration; new entries get a placeholder the
+    committer must replace.
+    """
+    known = dict(justifications or {})
+    keys = sorted({key for _, key in assign_keys(list(findings))})
+    lines = [_HEADER]
+    for k in keys:
+        note = known.get(k, _JUSTIFY_PLACEHOLDER)
+        lines.append(f"{k}  # {note}\n")
+    pathlib.Path(path).write_text("".join(lines), encoding="utf-8")
     return keys

@@ -2,25 +2,36 @@
 
 Usage::
 
+    repro-lint                                   # paths from [tool.simlint]
     repro-lint src benchmarks examples           # lint, exit 1 on findings
+    repro-lint --wp src                          # + whole-program SL1xx pass
+    repro-lint --format sarif --output out.sarif # SARIF 2.1.0 for CI upload
     repro-lint --list-rules                      # describe the rule set
-    repro-lint --select SL001,SL002 src          # subset of rules
+    repro-lint --select SL001,SL102 src          # subset of rules
     repro-lint --write-baseline src              # accept current findings
+    repro-lint --report-unused-suppressions src  # stale-suppression audit
     repro-lint --statistics src                  # per-rule counts
 
-Exit codes: 0 clean (baselined/suppressed findings do not fail the run),
-1 findings reported, 2 usage error.
+Exit codes: **0** clean (baselined/suppressed findings do not fail the
+run), **1** findings reported, **2** internal failure — an unparseable
+file, a crashed rule, no input files, or a usage error. The 1/2 split is
+what CI keys on: 1 means "the tree has violations", 2 means "the lint
+pass itself is broken and its verdict cannot be trusted".
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+from .baseline import (DEFAULT_BASELINE, load_baseline, load_justifications,
+                       write_baseline)
+from .config import LintConfig
 from .core import run_lint
 from .rules import default_rules
+from .rules_wp import default_wp_rules
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Determinism & invariant static analysis for the repro simulator.",
     )
     parser.add_argument("paths", nargs="*", default=[],
-                        help="files or directories to lint (default: src benchmarks examples)")
+                        help="files or directories to lint "
+                             "(default: [tool.simlint] paths, else src benchmarks examples)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})")
     parser.add_argument("--no-baseline", action="store_true",
@@ -39,6 +51,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="accept every current finding into the baseline and exit 0")
     parser.add_argument("--select", default=None, metavar="IDS",
                         help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--wp", action="store_true",
+                        help="also run the whole-program SL1xx pass (call graph + taint)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker threads for the per-file pass (default: auto)")
+    parser.add_argument("--ast-cache", default=None, metavar="DIR",
+                        help="cache dir for whole-program per-file IR, keyed on source hash")
+    parser.add_argument("--format", choices=("text", "sarif"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--report-unused-suppressions", action="store_true",
+                        help="report (and fail on) suppression comments that matched nothing")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.simlint] in pyproject.toml")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule set and exit")
     parser.add_argument("--statistics", action="store_true",
@@ -53,34 +79,78 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    rules = default_rules()
+    file_rules = default_rules()
+    wp_rules = default_wp_rules()
     if args.list_rules:
-        for rule in rules:
+        for rule in file_rules:
             print(f"{rule.rule_id}  {rule.title}")
+        for rule in wp_rules:
+            print(f"{rule.rule_id}  {rule.title}  [whole-program]")
         return 0
 
+    rules = list(file_rules)
+    if args.wp:
+        rules += wp_rules
     if args.select:
         wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
-        unknown = wanted.difference(r.rule_id for r in rules)
+        known = {r.rule_id for r in file_rules} | {r.rule_id for r in wp_rules}
+        unknown = wanted.difference(known)
         if unknown:
             parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
-        rules = [r for r in rules if r.rule_id in wanted]
+        # Selecting an SL1xx id turns the whole-program pass on implicitly.
+        pool = file_rules + wp_rules
+        rules = [r for r in pool if r.rule_id in wanted]
 
-    paths = args.paths or ["src", "benchmarks", "examples"]
-    baseline = set() if (args.no_baseline or args.write_baseline) else load_baseline(args.baseline)
-    result = run_lint(paths, rules, baseline=baseline)
+    config = None if args.no_config else LintConfig.load()
+    paths = args.paths
+    if not paths and config is not None and config.paths:
+        paths = list(config.paths)
+    if not paths:
+        paths = ["src", "benchmarks", "examples"]
+
+    baseline = set() if (args.no_baseline or args.write_baseline) \
+        else load_baseline(args.baseline)
+    result = run_lint(paths, rules, baseline=baseline, wp=args.wp,
+                      config=config, jobs=args.jobs,
+                      cache_dir=args.ast_cache)
 
     if result.files_checked == 0:
-        print(f"repro-lint: no Python files under: {' '.join(paths)}", file=sys.stderr)
+        print(f"repro-lint: no Python files under: {' '.join(paths)}",
+              file=sys.stderr)
         return 2
 
     if args.write_baseline:
-        keys = write_baseline(args.baseline, result.findings)
+        known = load_justifications(args.baseline)
+        keys = write_baseline(args.baseline, result.findings,
+                              justifications=known)
         print(f"wrote {len(keys)} baseline entries to {args.baseline}")
         return 0
 
-    for finding in result.findings:
-        print(finding.format())
+    out = sys.stdout
+    close_out = False
+    if args.output:
+        out = open(args.output, "w", encoding="utf-8")
+        close_out = True
+    try:
+        if args.format == "sarif":
+            from .sarif import to_sarif
+            json.dump(to_sarif(result, rules), out, indent=2)
+            out.write("\n")
+        else:
+            for finding in result.findings:
+                print(finding.format(), file=out)
+    finally:
+        if close_out:
+            out.close()
+
+    for error in result.errors:
+        print(f"repro-lint: error: {error.format()}", file=sys.stderr)
+
+    unused_failed = False
+    if args.report_unused_suppressions:
+        for stale in result.unused_suppressions:
+            print(stale.format(), file=sys.stderr)
+            unused_failed = True
 
     if args.statistics and result.findings:
         print()
@@ -93,11 +163,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             extras.append(f"{len(result.suppressed)} suppressed")
         if result.baselined:
             extras.append(f"{len(result.baselined)} baselined")
+        if result.wp_files:
+            extras.append(f"{result.wp_files} in call graph")
         detail = f" ({', '.join(extras)})" if extras else ""
-        verdict = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+        verdict = "clean" if result.ok else (
+            f"{len(result.errors)} error(s)" if result.errors
+            else f"{len(result.findings)} finding(s)")
         print(f"repro-lint: {result.files_checked} files, {verdict}{detail}")
 
-    return 0 if result.ok else 1
+    if result.errors:
+        return 2
+    if result.findings or unused_failed:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

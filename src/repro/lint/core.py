@@ -1,4 +1,4 @@
-"""simlint core: findings, rules, file contexts and the lint driver.
+"""simlint core: findings, rules, file/project contexts and the driver.
 
 The simulator's claims — reproducible runs, conserved bytes, honest pause
 accounting — are *properties of the code*, not of any one test run. simlint
@@ -7,23 +7,38 @@ and accounting disciplines statically, the way HotSpot's
 ``-XX:+VerifyBeforeGC``/``-XX:+VerifyAfterGC`` enforce heap well-formedness
 at runtime (see :mod:`repro.lint.audit` for that half).
 
-A :class:`Rule` visits one parsed file (:class:`FileContext`) and yields
-:class:`Finding` objects. The driver applies per-line suppression comments
-(:mod:`repro.lint.suppress`) and an optional committed baseline
-(:mod:`repro.lint.baseline`) before reporting.
+Two rule tiers share one driver:
+
+* a :class:`Rule` visits one parsed file (:class:`FileContext`) and
+  yields :class:`Finding` objects — the SL0xx family;
+* a :class:`ProjectRule` visits the linked whole-program view
+  (:class:`repro.lint.graph.ProjectContext`) — the SL1xx family, whose
+  findings carry a *related* location (a blocking-call finding anchors
+  at the call in the async body and points at the blocking terminal).
+
+The driver evaluates file rules in parallel across files (findings are
+re-sorted, so the order is deterministic regardless of worker count),
+applies suppression comments (:mod:`repro.lint.suppress`) at the primary
+*and* related locations, matches the committed baseline
+(:mod:`repro.lint.baseline`), and separates rule *findings* from pass
+*errors* (unparseable files, crashing rules) so the CLI can exit 1 vs 2.
 """
 
 from __future__ import annotations
 
 import ast
 import pathlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .suppress import SuppressionTable
+from .suppress import Directive, SuppressionTable
 
 #: Directories never linted (caches, benchmark artefacts, VCS internals).
 SKIP_DIRS = {"__pycache__", ".git", ".hg", "out", ".eggs", "build", "dist"}
+
+#: Thread-count cap for the parallel file pass.
+MAX_JOBS = 8
 
 
 @dataclass(frozen=True)
@@ -35,14 +50,22 @@ class Finding:
     rule_id: str       #: e.g. ``SL001``
     message: str       #: human-readable explanation
     source_line: str = ""  #: stripped source text (baseline matching)
+    #: Secondary location for whole-program findings (the *other* end of
+    #: the path: taint source, blocking terminal, submit site). A
+    #: suppression comment on either end silences the finding.
+    related_path: str = ""
+    related_line: int = 0
 
     def format(self) -> str:
         """Render as the canonical ``file:line rule-id message`` line."""
-        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+        base = f"{self.path}:{self.line} {self.rule_id} {self.message}"
+        if self.related_path:
+            base += f" [via {self.related_path}:{self.related_line}]"
+        return base
 
 
 class Rule:
-    """Base class for simlint rules.
+    """Base class for per-file simlint rules.
 
     Subclasses set :attr:`rule_id`/:attr:`title` and implement
     :meth:`check`; :meth:`applies` restricts a rule to a path subset
@@ -52,6 +75,8 @@ class Rule:
 
     rule_id: str = "SL000"
     title: str = "abstract rule"
+    #: ProjectRule subclasses flip this; the driver routes accordingly.
+    whole_program: bool = False
 
     def applies(self, ctx: "FileContext") -> bool:
         """Whether this rule runs on *ctx* at all (default: every file)."""
@@ -70,6 +95,37 @@ class Rule:
             rule_id=self.rule_id,
             message=message,
             source_line=ctx.line(line),
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (SL1xx) rules.
+
+    ``check_project`` sees the linked :class:`~repro.lint.graph
+    .ProjectContext` plus the per-path :class:`FileContext` map (for
+    source lines and suppression tables).
+    """
+
+    whole_program = True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project, files: Dict[str, "FileContext"],
+                      ) -> Iterator[Finding]:
+        """Yield findings over the whole program."""
+        raise NotImplementedError
+
+    def wp_finding(self, files: Dict[str, "FileContext"], path: str,
+                   line: int, message: str, *,
+                   related: Optional[Tuple[str, int]] = None) -> Finding:
+        """Build a whole-program finding with an optional related end."""
+        ctx = files.get(path)
+        rp, rl = related if related is not None else ("", 0)
+        return Finding(
+            path=path, line=line, rule_id=self.rule_id, message=message,
+            source_line=ctx.line(line) if ctx is not None else "",
+            related_path=rp, related_line=rl,
         )
 
 
@@ -98,20 +154,52 @@ class FileContext:
 
 
 @dataclass
+class LintError:
+    """One pass failure (not a rule finding): unparseable file, crashed
+    rule. Any of these makes the run exit 2 — broken tooling must never
+    masquerade as a clean tree."""
+
+    path: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+@dataclass
+class UnusedSuppression:
+    """A suppression directive that matched no finding this run."""
+
+    path: str
+    directive: Directive
+
+    def format(self) -> str:
+        rules = ",".join(self.directive.rules)
+        return (f"{self.path}:{self.directive.lineno} unused suppression "
+                f"({self.directive.kind}={rules})")
+
+
+@dataclass
 class LintResult:
     """Outcome of one lint run over a path set."""
 
     findings: List[Finding] = field(default_factory=list)
-    #: Findings silenced by ``# simlint: disable=`` comments.
+    #: Findings silenced by ``# simlint:`` comments.
     suppressed: List[Finding] = field(default_factory=list)
     #: Findings matched (and hidden) by the baseline file.
     baselined: List[Finding] = field(default_factory=list)
+    #: Pass failures (unparseable files, crashed rules) — exit 2.
+    errors: List[LintError] = field(default_factory=list)
+    #: Suppression directives that matched nothing (stale debt).
+    unused_suppressions: List[UnusedSuppression] = field(default_factory=list)
     files_checked: int = 0
+    #: Files in the whole-program call graph (0 when the wp pass is off).
+    wp_files: int = 0
 
     @property
     def ok(self) -> bool:
-        """True when no *reportable* findings remain."""
-        return not self.findings
+        """True when no *reportable* findings remain and nothing broke."""
+        return not self.findings and not self.errors
 
     def by_rule(self) -> Dict[str, int]:
         """Reportable finding counts keyed by rule id."""
@@ -121,18 +209,57 @@ class LintResult:
         return counts
 
 
-def iter_python_files(paths: Sequence[str]) -> Iterator[pathlib.Path]:
-    """Expand files/directories into the sorted set of ``*.py`` files."""
+def iter_python_files(paths: Sequence[str],
+                      exclude: Sequence[str] = ()) -> Iterator[pathlib.Path]:
+    """Expand files/directories into the sorted set of ``*.py`` files.
+
+    ``exclude`` entries are directory prefixes (posix, relative) pruned
+    from the walk — rule-violating lint fixtures live there on purpose.
+    """
+    def excluded(p: pathlib.Path) -> bool:
+        posix = p.as_posix()
+        for ex in exclude:
+            ex = pathlib.PurePath(ex).as_posix().rstrip("/")
+            if posix == ex or posix.startswith(ex + "/") or f"/{ex}/" in f"/{posix}":
+                return True
+        return False
+
     seen = []
     for raw in paths:
         p = pathlib.Path(raw)
+        # A file named explicitly is linted regardless of `exclude` —
+        # the prefixes prune directory *walks*, not direct requests.
         if p.is_file() and p.suffix == ".py":
             seen.append(p)
         elif p.is_dir():
             for sub in sorted(p.rglob("*.py")):
-                if not SKIP_DIRS.intersection(sub.parts):
+                if not SKIP_DIRS.intersection(sub.parts) and not excluded(sub):
                     seen.append(sub)
     return iter(seen)
+
+
+def _check_file(ctx: FileContext, rules: Sequence[Rule],
+                ) -> Tuple[List[Finding], List[Finding], List[LintError]]:
+    """Run the per-file rules over one parsed context."""
+    reportable: List[Finding] = []
+    suppressed: List[Finding] = []
+    errors: List[LintError] = []
+    for rule in rules:
+        if rule.whole_program or not rule.applies(ctx):
+            continue
+        try:
+            found = list(rule.check(ctx))
+        except Exception as exc:       # a rule crashing is OUR bug: exit 2
+            errors.append(LintError(
+                ctx.path, f"rule {rule.rule_id} crashed: {type(exc).__name__}: {exc}"))
+            continue
+        for finding in found:
+            if ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
+                suppressed.append(finding)
+            else:
+                reportable.append(finding)
+    reportable.sort(key=lambda f: (f.line, f.rule_id))
+    return reportable, suppressed, errors
 
 
 def lint_file(
@@ -145,7 +272,8 @@ def lint_file(
 
     A file that fails to parse produces a single ``SL000`` syntax-error
     finding (never an exception): broken source must fail the lint pass,
-    not crash it.
+    not crash it. (The full driver additionally records it as a pass
+    *error* so the CLI exits 2 rather than 1.)
     """
     shown = display_path or str(path)
     try:
@@ -157,18 +285,45 @@ def lint_file(
             [Finding(shown, lineno, "SL000", f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}")],
             [],
         )
-    reportable: List[Finding] = []
-    suppressed: List[Finding] = []
-    for rule in rules:
-        if not rule.applies(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if ctx.suppressions.is_suppressed(finding.rule_id, finding.line):
-                suppressed.append(finding)
-            else:
-                reportable.append(finding)
-    reportable.sort(key=lambda f: (f.line, f.rule_id))
+    reportable, suppressed, _ = _check_file(ctx, rules)
     return reportable, suppressed
+
+
+def _run_wp(
+    contexts: Dict[str, FileContext],
+    wp_rules: Sequence[ProjectRule],
+    *,
+    roots: Sequence[str],
+    cache_dir: Optional[str],
+    result: LintResult,
+) -> List[Finding]:
+    """Build the project context and evaluate the SL1xx rules."""
+    from .graph import ProjectContext
+
+    sources = {path: (ctx.source, ctx.tree) for path, ctx in contexts.items()}
+    project = ProjectContext.build(sources, roots=roots, cache_dir=cache_dir)
+    result.wp_files = len(project.modules)
+
+    reportable: List[Finding] = []
+    for rule in wp_rules:
+        try:
+            found = list(rule.check_project(project, contexts))
+        except Exception as exc:
+            result.errors.append(LintError(
+                "<project>",
+                f"rule {rule.rule_id} crashed: {type(exc).__name__}: {exc}"))
+            continue
+        for f in found:
+            silenced = False
+            ctx = contexts.get(f.path)
+            if ctx is not None and ctx.suppressions.is_suppressed(f.rule_id, f.line):
+                silenced = True
+            rctx = contexts.get(f.related_path) if f.related_path else None
+            if rctx is not None and rctx.suppressions.is_suppressed(
+                    f.rule_id, f.related_line):
+                silenced = True
+            (result.suppressed if silenced else reportable).append(f)
+    return reportable
 
 
 def run_lint(
@@ -176,26 +331,113 @@ def run_lint(
     rules: Optional[Sequence[Rule]] = None,
     *,
     baseline: Optional[Iterable[str]] = None,
+    wp: bool = False,
+    wp_rules: Optional[Sequence[ProjectRule]] = None,
+    config=None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> LintResult:
-    """Lint every Python file under *paths* with *rules*.
+    """Lint every Python file under *paths*.
 
-    ``baseline`` is an iterable of baseline keys (see
-    :mod:`repro.lint.baseline`); matching findings are moved to
-    ``result.baselined`` instead of failing the run.
+    * ``rules`` — per-file rule set (default: :func:`default_rules`);
+      per-directory profiles from ``config`` subset it further.
+    * ``baseline`` — iterable of accepted keys (see
+      :mod:`repro.lint.baseline`); matching findings are moved to
+      ``result.baselined`` instead of failing the run.
+    * ``wp`` — also run the whole-program SL1xx pass (``wp_rules``,
+      default :func:`repro.lint.rules_wp.default_wp_rules`) over the
+      files in ``config.wp_paths`` scope (all files when unset).
+    * ``jobs`` — worker threads for the per-file pass (default: capped
+      CPU count). Finding order is deterministic for any value.
+    * ``cache_dir`` — parsed-AST/IR cache for the wp pass, keyed on each
+      file's source hash.
     """
-    from .baseline import finding_key
+    import os
+
+    from .baseline import assign_keys
     from .rules import default_rules
 
     active = list(rules) if rules is not None else default_rules()
-    known = set(baseline or ())
+    file_rules = [r for r in active if not r.whole_program]
+    selected_wp = [r for r in active if r.whole_program]
+    if wp or selected_wp:
+        if wp_rules is not None:
+            project_rules = list(wp_rules)
+        elif selected_wp:
+            project_rules = selected_wp
+        else:
+            from .rules_wp import default_wp_rules
+            project_rules = default_wp_rules()
+    else:
+        project_rules = []
+
+    exclude = list(config.exclude) if config is not None else []
     result = LintResult()
-    for path in iter_python_files(paths):
+    contexts: Dict[str, FileContext] = {}
+    order: List[str] = []
+
+    for path in iter_python_files(paths, exclude=exclude):
+        shown = str(path)
         result.files_checked += 1
-        reportable, suppressed = lint_file(path, active)
-        result.suppressed.extend(suppressed)
-        for f in reportable:
-            if finding_key(f) in known:
-                result.baselined.append(f)
-            else:
-                result.findings.append(f)
+        order.append(shown)
+        try:
+            source = path.read_text(encoding="utf-8")
+            contexts[shown] = FileContext(shown, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            msg = exc.msg if hasattr(exc, "msg") else str(exc)
+            result.findings.append(
+                Finding(shown, lineno, "SL000", f"file does not parse: {msg}"))
+            result.errors.append(LintError(shown, f"does not parse: {msg}"))
+        except OSError as exc:
+            result.errors.append(LintError(shown, f"unreadable: {exc}"))
+
+    # -- parallel per-file pass (deterministic via re-sort) --------------
+    def profile_rules(path: str) -> Sequence[Rule]:
+        if config is None:
+            return file_rules
+        allowed = config.profile_for(path)
+        if allowed is None:
+            return file_rules
+        return [r for r in file_rules if r.rule_id in allowed]
+
+    workers = jobs if jobs and jobs > 0 else min(MAX_JOBS, os.cpu_count() or 1)
+    reportable: List[Finding] = []
+    items = [(p, contexts[p]) for p in order if p in contexts]
+    if workers > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(
+                lambda it: _check_file(it[1], profile_rules(it[0])), items))
+    else:
+        outcomes = [_check_file(ctx, profile_rules(p)) for p, ctx in items]
+    for rep, sup, errs in outcomes:
+        reportable.extend(rep)
+        result.suppressed.extend(sup)
+        result.errors.extend(errs)
+
+    # -- whole-program pass ----------------------------------------------
+    if project_rules:
+        wp_contexts = {
+            p: c for p, c in contexts.items()
+            if config is None or config.in_wp_scope(p)}
+        roots = [str(p) for p in paths if pathlib.Path(p).is_dir()]
+        reportable.extend(_run_wp(
+            wp_contexts, project_rules, roots=roots,
+            cache_dir=cache_dir, result=result))
+
+    # -- ordering, baseline, stale suppressions --------------------------
+    reportable.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    known = set(baseline or ())
+    for finding, key in assign_keys(reportable):
+        if key in known:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    for path in order:
+        ctx = contexts.get(path)
+        if ctx is None:
+            continue
+        for directive in ctx.suppressions.unused():
+            result.unused_suppressions.append(UnusedSuppression(path, directive))
     return result

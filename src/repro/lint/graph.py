@@ -1,0 +1,909 @@
+"""Whole-program symbol table and call graph for simlint v2.
+
+The SL0xx rules see one file at a time; the SL1xx family
+(:mod:`repro.lint.rules_wp`) needs to answer *reachability* questions —
+"can this ``async def`` in ``serve/`` reach an ``fcntl.flock``?", "does a
+wall-clock read flow into ``sim/`` through two helpers?". This module
+builds the structure those queries run on:
+
+* a per-module **IR** (:class:`ModuleInfo`): every function/method with
+  its resolved call sites, every class with its fields, bases, attribute
+  types and pickle hooks — all JSON-serializable so the whole extraction
+  is cacheable keyed on the source hash (``--ast-cache``);
+* a **symbol table** mapping module-qualified names to definitions,
+  with import following (absolute *and* relative) and lightweight type
+  inference (annotations, ``x = Ctor()`` locals, ``self.x = Ctor()``
+  attributes, project-function return annotations);
+* a **call graph** over resolved edges with a bounded-depth path search
+  (:meth:`ProjectContext.find_path`) used by both the blocking-call and
+  the determinism-taint analyses.
+
+Soundness limits (documented in DESIGN.md §14): dynamic dispatch through
+``getattr``/dict-of-functions, monkeypatching, and callables threaded
+through untyped parameters are invisible to the resolver; the SL1xx
+rules are therefore *bug finders with a low false-positive bias*, not
+verifiers. The per-file SL0xx rules remain the sound backstop for direct
+violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Bump when the IR shape changes: stale cache entries are then ignored.
+IR_VERSION = 2
+
+#: Default bound on transitive-closure depth. Deep enough for any sane
+#: call chain; finite so a pathological (or accidentally cyclic) graph
+#: cannot stall the lint pass.
+MAX_DEPTH = 16
+
+
+# ----------------------------------------------------------------------
+# IR dataclasses (all JSON-round-trippable for the AST cache)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str                   #: dotted callee, import aliases expanded
+    lineno: int
+    #: Module-qualified project function this resolves to ('' = external).
+    resolved: str = ""
+    #: Extra candidate names (module/attribute aliases: ``WALL_CLOCK()``
+    #: where ``WALL_CLOCK = time.monotonic`` carries both names).
+    alt_names: Tuple[str, ...] = ()
+    #: Lexically inside a ``with <obj>.locked():`` block.
+    locked: bool = False
+    #: The call value is discarded (bare expression statement).
+    bare: bool = False
+    #: The call's value is assigned to a local that is never read again
+    #: (and no method is invoked on it).
+    dangling: bool = False
+
+
+@dataclass
+class SubmitSite:
+    """One ``pool.submit(fn, *args)`` call site (pool kind resolved lazily)."""
+
+    lineno: int
+    fn: str = ""                        #: resolved project qname of fn ('' unknown)
+    arg_types: Tuple[str, ...] = ()     #: resolved class qnames of payload args
+    #: Receiver typing evidence: a dotted type name, or ``call:<name>``
+    #: when the receiver came from a call whose return annotation decides
+    #: (``pool = self._checkout_pool()``). Linked in ProjectContext.
+    recv: str = ""
+    #: True once linking confirms the receiver is a ProcessPoolExecutor.
+    is_process_pool: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str                  #: e.g. ``repro.serve.service.ExperimentService.drain``
+    path: str
+    lineno: int
+    is_async: bool = False
+    cls: str = ""               #: owning class qname ('' for module level)
+    calls: List[CallSite] = field(default_factory=list)
+    submits: List[SubmitSite] = field(default_factory=list)
+    #: Resolved class qname of the return annotation ('' if none/external).
+    returns: str = ""
+
+
+@dataclass
+class FieldInfo:
+    """One class attribute with a (statically declared) type."""
+
+    name: str
+    type: str                   #: dotted annotation text, Optional[...] unwrapped
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class definition."""
+
+    qname: str
+    path: str
+    lineno: int
+    bases: Tuple[str, ...] = ()             #: dotted base names (alias-expanded)
+    methods: Tuple[str, ...] = ()           #: unqualified method names
+    fields: List[FieldInfo] = field(default_factory=list)
+    #: ``self.<attr> = Ctor(...)`` → attr: resolved class dotted name.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr> = <expr>`` → dotted names referenced in the expr
+    #: (how injected-clock patterns like ``self._clock = WALL_CLOCK``
+    #: stay visible to the taint analysis).
+    attr_values: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Defines __getstate__/__reduce__/__reduce_ex__/__getnewargs__.
+    has_pickle_hook: bool = False
+    #: Defines a ``locked`` method (lock-discipline anchor for SL103).
+    has_locked_cm: bool = False
+
+
+@dataclass
+class MutationSite:
+    """A write to a store-owned file (SL103): ``open(self.x_path, 'a')``,
+    ``tmp.replace(self.records_path)``, ``self.lock_path.unlink()``..."""
+
+    lineno: int
+    desc: str                   #: human-readable description of the write
+    method: str                 #: enclosing method qname
+    locked: bool                #: lexically under ``with self.locked():``
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the whole-program rules need from one source file."""
+
+    module: str                 #: dotted module name
+    path: str
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``NAME = <dotted>`` aliases (``WALL_CLOCK = time.monotonic``).
+    assigns: Dict[str, str] = field(default_factory=dict)
+    #: import alias → canonical dotted name (relative imports resolved).
+    imports: Dict[str, str] = field(default_factory=dict)
+    mutations: List[MutationSite] = field(default_factory=list)
+
+    # -- cache round trip ------------------------------------------------
+
+    def to_json(self) -> dict:
+        d = asdict(self)
+        d["_ir"] = IR_VERSION
+        return d
+
+    @classmethod
+    def from_json(cls, d: dict) -> "ModuleInfo":
+        if d.get("_ir") != IR_VERSION:
+            raise ValueError("stale IR version")
+        info = cls(module=d["module"], path=d["path"],
+                   assigns=dict(d["assigns"]), imports=dict(d["imports"]))
+        for q, f in d["functions"].items():
+            info.functions[q] = FunctionInfo(
+                qname=f["qname"], path=f["path"], lineno=f["lineno"],
+                is_async=f["is_async"], cls=f["cls"], returns=f["returns"],
+                calls=[CallSite(name=c["name"], lineno=c["lineno"],
+                                resolved=c["resolved"],
+                                alt_names=tuple(c["alt_names"]),
+                                locked=c["locked"], bare=c["bare"],
+                                dangling=c["dangling"])
+                       for c in f["calls"]],
+                submits=[SubmitSite(lineno=s["lineno"], fn=s["fn"],
+                                    arg_types=tuple(s["arg_types"]),
+                                    recv=s["recv"],
+                                    is_process_pool=s["is_process_pool"])
+                         for s in f["submits"]],
+            )
+        for q, c in d["classes"].items():
+            info.classes[q] = ClassInfo(
+                qname=c["qname"], path=c["path"], lineno=c["lineno"],
+                bases=tuple(c["bases"]), methods=tuple(c["methods"]),
+                fields=[FieldInfo(**fd) for fd in c["fields"]],
+                attr_types=dict(c["attr_types"]),
+                attr_values={k: tuple(v) for k, v in c["attr_values"].items()},
+                has_pickle_hook=c["has_pickle_hook"],
+                has_locked_cm=c["has_locked_cm"],
+            )
+        info.mutations = [MutationSite(**m) for m in d["mutations"]]
+        return info
+
+
+# ----------------------------------------------------------------------
+# Extraction helpers
+# ----------------------------------------------------------------------
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for(path: str, roots: Sequence[str]) -> str:
+    """Dotted module name of *path* relative to the first matching root.
+
+    ``src/`` path segments are dropped so an in-repo run names modules
+    the way imports spell them (``src/repro/sim/engine.py`` →
+    ``repro.sim.engine``); ``__init__.py`` names the package itself.
+    """
+    p = pathlib.PurePath(path).as_posix()
+    rel = p
+    for root in sorted((pathlib.PurePath(r).as_posix() for r in roots),
+                       key=len, reverse=True):
+        if root and p.startswith(root.rstrip("/") + "/"):
+            rel = p[len(root.rstrip("/")) + 1:]
+            break
+    parts = [q for q in pathlib.PurePath(rel).parts if q != "src"]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def build_import_map(tree: ast.AST, module: str) -> Dict[str, str]:
+    """Local name → canonical dotted name for every import in *tree*.
+
+    Unlike the per-file rules' alias map this resolves **relative**
+    imports against *module* (``from ..campaign.store import ResultStore``
+    inside ``repro.serve.service`` → ``repro.campaign.store.ResultStore``)
+    so cross-package edges inside the project resolve.
+    """
+    imports: Dict[str, str] = {}
+    pkg_parts = module.split(".")[:-1] if module else []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                imports[a.asname or a.name.split(".", 1)[0]] = (
+                    a.name if a.asname else a.name.split(".", 1)[0])
+                if a.asname:
+                    imports[a.asname] = a.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            for a in node.names:
+                if a.name != "*":
+                    imports[a.asname or a.name] = f"{base}.{a.name}"
+    return imports
+
+
+def _unwrap_annotation(node: ast.AST) -> Optional[str]:
+    """Dotted name of an annotation, unwrapping Optional[...] / quotes."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = dotted(node.value)
+        if head and head.rsplit(".", 1)[-1] in ("Optional", "Union"):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return _unwrap_annotation(inner)
+        return None
+    return dotted(node)
+
+
+#: Methods whose presence customizes pickling enough to trust the author.
+_PICKLE_HOOKS = {"__getstate__", "__reduce__", "__reduce_ex__",
+                 "__getnewargs__", "__getnewargs_ex__"}
+
+#: File-write call tails considered store mutations for SL103.
+_WRITE_TAILS = {"unlink", "replace", "rename", "write_text", "write_bytes",
+                "rmdir", "touch"}
+
+
+class _ModuleExtractor:
+    """Single pass over one module's AST producing its :class:`ModuleInfo`.
+
+    Resolution that needs the *project* symbol table (``self.m()`` into
+    base classes, constructor-typed attributes from other modules) is
+    deferred to :meth:`ProjectContext._link`; this pass records raw
+    alias-expanded names plus purely local typing.
+    """
+
+    def __init__(self, module: str, path: str, tree: ast.Module):
+        self.info = ModuleInfo(module=module, path=path)
+        self.info.imports = build_import_map(tree, module)
+        self._module_assigns(tree)
+        for node in tree.body:
+            self._top(node, prefix=module)
+
+    # -- module / class level -------------------------------------------
+
+    def _module_assigns(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                value = dotted(node.value)
+                if value:
+                    self.info.assigns[node.targets[0].id] = self.expand(value)
+            elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                    and isinstance(node.target, ast.Name)):
+                value = dotted(node.value)
+                if value:
+                    self.info.assigns[node.target.id] = self.expand(value)
+
+    def _top(self, node: ast.AST, prefix: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._function(node, prefix=prefix, cls=None)
+        elif isinstance(node, ast.ClassDef):
+            self._class(node, prefix=prefix)
+
+    def _class(self, node: ast.ClassDef, prefix: str) -> None:
+        qname = f"{prefix}.{node.name}"
+        methods = [n.name for n in node.body
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        cls = ClassInfo(
+            qname=qname, path=self.info.path, lineno=node.lineno,
+            bases=tuple(self.expand(dotted(b)) for b in node.bases if dotted(b)),
+            methods=tuple(methods),
+            has_pickle_hook=bool(_PICKLE_HOOKS.intersection(methods)),
+            has_locked_cm="locked" in methods,
+        )
+        # Dataclass-style annotated fields in the class body.
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                ann = _unwrap_annotation(stmt.annotation)
+                if ann:
+                    cls.fields.append(FieldInfo(name=stmt.target.id,
+                                                type=self.expand(ann),
+                                                lineno=stmt.lineno))
+        self.info.classes[qname] = cls
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, prefix=qname, cls=cls)
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt, prefix=qname)
+
+    # -- function level --------------------------------------------------
+
+    def expand(self, name: str) -> str:
+        """Expand the leading segment of *name* through the import map."""
+        head, _, rest = name.partition(".")
+        target = self.info.imports.get(head)
+        if target:
+            return f"{target}.{rest}" if rest else target
+        return name
+
+    def _function(self, node, *, prefix: str, cls: Optional[ClassInfo]) -> None:
+        qname = f"{prefix}.{node.name}"
+        fn = FunctionInfo(
+            qname=qname, path=self.info.path, lineno=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            cls=cls.qname if cls is not None else "",
+        )
+        if node.returns is not None:
+            ann = _unwrap_annotation(node.returns)
+            if ann:
+                fn.returns = self.expand(ann)
+        _FunctionScanner(self, fn, node, cls)
+        self.info.functions[qname] = fn
+
+
+class _FunctionScanner:
+    """Walk one function body: call sites, local types, submits, writes."""
+
+    def __init__(self, ext: _ModuleExtractor, fn: FunctionInfo,
+                 node, cls: Optional[ClassInfo]):
+        self.ext = ext
+        self.fn = fn
+        self.cls = cls
+        #: local / parameter name → dotted type name.
+        self.local_types: Dict[str, str] = {}
+        #: locals assigned from ``self.<x>_path``-ish expressions (SL103).
+        self.path_locals: Set[str] = set()
+        self._collect_param_types(node)
+        self._loads = self._load_counts(node)
+        self._assigned: Dict[int, str] = {}
+        self._walk_body(node.body, locked=False)
+
+    # -- typing ----------------------------------------------------------
+
+    def _collect_param_types(self, node) -> None:
+        args = node.args
+        for a in (list(args.posonlyargs) + list(args.args)
+                  + list(args.kwonlyargs)):
+            if a.annotation is not None:
+                ann = _unwrap_annotation(a.annotation)
+                if ann:
+                    self.local_types[a.arg] = self.ext.expand(ann)
+
+    @staticmethod
+    def _load_counts(node) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                counts[sub.id] = counts.get(sub.id, 0) + 1
+            elif isinstance(sub, ast.Attribute):
+                root = sub.value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and isinstance(root.ctx, ast.Load):
+                    pass    # already counted via the Name load above
+        return counts
+
+    def _infer_type(self, expr: ast.AST) -> str:
+        """Best-effort dotted type name of *expr* ('' when unknown)."""
+        if isinstance(expr, ast.IfExp):
+            # `Ctor(...) if cond else None` — the guarded arm decides.
+            return self._infer_type(expr.body) or self._infer_type(expr.orelse)
+        name = dotted(expr)
+        if name is not None:
+            head, _, rest = name.partition(".")
+            if head == "self" and self.cls is not None and rest:
+                attr = rest.split(".", 1)[0]
+                return self.cls.attr_types.get(attr, "")
+            return self.local_types.get(name, "")
+        if isinstance(expr, ast.Call):
+            callee = dotted(expr.func)
+            if callee:
+                return self.ext.expand(callee)
+        return ""
+
+    # -- body walk -------------------------------------------------------
+
+    def _walk_body(self, stmts: Iterable[ast.stmt], *, locked: bool) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, locked=locked)
+
+    def _stmt(self, stmt: ast.stmt, *, locked: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner_locked = locked or any(
+                self._is_locked_cm(item.context_expr) for item in stmt.items)
+            for item in stmt.items:
+                self._expr(item.context_expr, locked=locked)
+                # `with Ctor(...) as name:` types the bound local.
+                if isinstance(item.optional_vars, ast.Name):
+                    inferred = self._infer_type(item.context_expr)
+                    if inferred:
+                        self.local_types[item.optional_vars.id] = inferred
+            self._walk_body(stmt.body, locked=inner_locked)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: calls inside belong (conservatively) to the parent.
+            self._walk_body(stmt.body, locked=locked)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._record_assignment(stmt.targets, stmt.value)
+            self._expr(stmt.value, locked=locked,
+                       assigned_to=self._single_name(stmt.targets))
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                targets = [stmt.target]
+                self._record_assignment(targets, stmt.value,
+                                        annotation=stmt.annotation)
+                self._expr(stmt.value, locked=locked,
+                           assigned_to=self._single_name(targets))
+            elif isinstance(stmt.target, ast.Name) and stmt.annotation is not None:
+                ann = _unwrap_annotation(stmt.annotation)
+                if ann:
+                    self.local_types[stmt.target.id] = self.ext.expand(ann)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, locked=locked, bare=True)
+            return
+        # Generic recursion: visit child statements with the same lock
+        # state, and any embedded expressions.
+        for fname, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self._walk_body(value, locked=locked)
+                else:
+                    for v in value:
+                        if isinstance(v, ast.expr):
+                            self._expr(v, locked=locked)
+            elif isinstance(value, ast.expr):
+                self._expr(value, locked=locked)
+
+    def _single_name(self, targets) -> Optional[str]:
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            return targets[0].id
+        return None
+
+    def _record_assignment(self, targets, value, annotation=None) -> None:
+        # Local typing: x = Ctor(...) / x: T = ...
+        tname = self._single_name(targets)
+        if tname is not None:
+            inferred = ""
+            if annotation is not None:
+                ann = _unwrap_annotation(annotation)
+                inferred = self.ext.expand(ann) if ann else ""
+            if not inferred:
+                inferred = self._infer_type(value)
+            if inferred:
+                self.local_types[tname] = inferred
+            if self._mentions_self_path(value):
+                self.path_locals.add(tname)
+        # Attribute typing: self.x = Ctor(...) (+ referenced dotted names).
+        if (self.cls is not None and len(targets) == 1
+                and isinstance(targets[0], ast.Attribute)):
+            target = targets[0]
+            root = dotted(target)
+            if root and root.startswith("self.") and root.count(".") == 1:
+                attr = root.split(".", 1)[1]
+                inferred = self._infer_type(value)
+                if inferred and attr not in self.cls.attr_types:
+                    self.cls.attr_types[attr] = inferred
+                names = tuple(sorted({
+                    self.ext.info.assigns.get(n, self.ext.expand(n))
+                    for n in self._dotted_names(value)}))
+                if names:
+                    merged = set(self.cls.attr_values.get(attr, ())) | set(names)
+                    self.cls.attr_values[attr] = tuple(sorted(merged))
+
+    @staticmethod
+    def _dotted_names(expr: ast.AST) -> List[str]:
+        out = []
+        for sub in ast.walk(expr):
+            if isinstance(sub, (ast.Name, ast.Attribute)):
+                name = dotted(sub)
+                if name and not name.startswith("self."):
+                    out.append(name)
+        return out
+
+    def _mentions_self_path(self, expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            d = dotted(sub)
+            if d and d.startswith("self.") and (
+                    d.split(".")[1].endswith("_path") or d.split(".")[1] == "root"):
+                return True
+            if isinstance(sub, ast.Name) and sub.id in self.path_locals:
+                return True
+        return False
+
+    def _is_locked_cm(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            name = dotted(expr.func)
+            return bool(name) and name.rsplit(".", 1)[-1] == "locked"
+        return False
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, expr: ast.expr, *, locked: bool,
+              bare: bool = False, assigned_to: Optional[str] = None) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._call(sub, locked=locked,
+                           bare=bare and sub is expr,
+                           assigned_to=assigned_to if sub is expr else None)
+
+    def _call(self, node: ast.Call, *, locked: bool, bare: bool,
+              assigned_to: Optional[str]) -> None:
+        raw = dotted(node.func)
+        if raw is None:
+            return
+        name = self.ext.expand(raw)
+        alts: Set[str] = set()
+        # NAME() where NAME = time.monotonic at module level.
+        head, _, rest = raw.partition(".")
+        if not rest and head in self.ext.info.assigns:
+            alts.add(self.ext.info.assigns[head])
+        # self._clock() where __init__ bound the attr to a known name.
+        if head == "self" and self.cls is not None and rest and "." not in rest:
+            alts.update(self.ext.info.assigns.get(n, n)
+                        for n in self.cls.attr_values.get(rest, ()))
+        # store.read_manifest() where `store: ResultStore` is a typed
+        # local/parameter — add the type-qualified candidate so linking
+        # can dispatch through the class.
+        if rest and head in self.local_types:
+            alts.add(f"{self.local_types[head]}.{rest}")
+        dangling = bool(
+            assigned_to is not None
+            and self._loads.get(assigned_to, 0) == 0)
+        site = CallSite(name=name, lineno=node.lineno,
+                        alt_names=tuple(sorted(alts)),
+                        locked=locked, bare=bare, dangling=dangling)
+        self.fn.calls.append(site)
+        self._maybe_submit(node)
+        self._maybe_mutation(node, locked=locked)
+
+    def _maybe_submit(self, node: ast.Call) -> None:
+        """Record every ``<recv>.submit(fn, *payload)``; whether the
+        receiver is actually a ProcessPoolExecutor is decided at link
+        time (the receiver may be typed by a return annotation)."""
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"):
+            return
+        if not node.args:
+            return
+        recv = self._infer_type(node.func.value)
+        if not recv and isinstance(node.func.value, ast.Name):
+            # `pool = self._checkout_pool()` — infer_type followed the
+            # local, which holds the *call target*; mark it for linking.
+            local = self.local_types.get(node.func.value.id, "")
+            recv = f"call:{local}" if local else ""
+        elif not recv:
+            callee = dotted(node.func.value)
+            recv = f"call:{self.ext.expand(callee)}" if callee else ""
+        fn_name = dotted(node.args[0])
+        resolved_fn = self.ext.expand(fn_name) if fn_name else ""
+        arg_types = tuple(t for t in
+                          (self._infer_type(a) for a in node.args[1:]) if t)
+        self.fn.submits.append(SubmitSite(lineno=node.lineno, fn=resolved_fn,
+                                          arg_types=arg_types, recv=recv))
+
+    def _maybe_mutation(self, node: ast.Call, *, locked: bool) -> None:
+        """Record writes to store-owned paths (SL103 raw material)."""
+        if self.cls is None or not self.cls.has_locked_cm:
+            return
+        desc = None
+        func = node.func
+        # open(self.<x>_path, 'a'|'w'|...)
+        if isinstance(func, ast.Name) and func.id == "open" and node.args:
+            target = node.args[0]
+            if self._is_store_path(target):
+                mode = ""
+                if len(node.args) > 1 and isinstance(node.args[1], ast.Constant):
+                    mode = str(node.args[1].value)
+                for kw in node.keywords:
+                    if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                        mode = str(kw.value.value)
+                if any(c in mode for c in "wax+"):
+                    desc = f"open({dotted(target) or 'store path'}, {mode!r})"
+        # <path expr>.unlink() / tmp.replace(self.records_path) / ...
+        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_TAILS:
+            if self._is_store_path(func.value) or any(
+                    self._is_store_path(a) for a in node.args):
+                desc = f".{func.attr}() on a store path"
+        if desc is not None:
+            self.ext.info.mutations.append(MutationSite(
+                lineno=node.lineno, desc=desc,
+                method=self.fn.qname, locked=locked))
+
+    def _is_store_path(self, expr: ast.AST) -> bool:
+        d = dotted(expr)
+        if d and d.startswith("self.") and (
+                d.split(".")[1].endswith("_path") or d.split(".")[1] == "root"):
+            return True
+        if isinstance(expr, ast.Name) and expr.id in self.path_locals:
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Project context
+# ----------------------------------------------------------------------
+
+
+class ProjectContext:
+    """The linked whole-program view: modules, symbols, call graph.
+
+    Build with :meth:`build` from ``{path: (source, tree)}``; pass
+    ``cache_dir`` to reuse per-file IR keyed on the source's SHA-256
+    (the CI ``lint-wp`` job's parsed-AST cache).
+    """
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        #: path → ModuleInfo (insertion order = sorted build order).
+        self.modules = modules
+        #: function qname → FunctionInfo.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class qname → ClassInfo.
+        self.classes: Dict[str, ClassInfo] = {}
+        #: class unqualified name → [class qnames] (cross-module lookup).
+        self._class_by_tail: Dict[str, List[str]] = {}
+        for info in modules.values():
+            self.functions.update(info.functions)
+            self.classes.update(info.classes)
+        for qname in self.classes:
+            self._class_by_tail.setdefault(
+                qname.rsplit(".", 1)[-1], []).append(qname)
+        self._link()
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, sources: Dict[str, Tuple[str, ast.Module]],
+              roots: Sequence[str] = (),
+              cache_dir: Optional[str] = None) -> "ProjectContext":
+        """Extract + link every module in *sources* (path → (src, tree))."""
+        cache = pathlib.Path(cache_dir) if cache_dir else None
+        if cache is not None:
+            cache.mkdir(parents=True, exist_ok=True)
+        modules: Dict[str, ModuleInfo] = {}
+        for path in sorted(sources):
+            source, tree = sources[path]
+            info = None
+            key = None
+            if cache is not None:
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+                key = cache / f"{digest}.json"
+                if key.exists():
+                    try:
+                        info = ModuleInfo.from_json(
+                            json.loads(key.read_text(encoding="utf-8")))
+                        info.path = path     # cache hits keep the caller's path
+                    except (ValueError, KeyError, TypeError):
+                        info = None
+            if info is None:
+                mod = module_name_for(path, roots)
+                info = _ModuleExtractor(mod, path, tree).info
+                if key is not None:
+                    key.write_text(json.dumps(info.to_json(), sort_keys=True),
+                                   encoding="utf-8")
+            modules[path] = info
+        return cls(modules)
+
+    # -- linking ---------------------------------------------------------
+
+    def _resolve_class(self, name: str) -> Optional[ClassInfo]:
+        """ClassInfo for a dotted name (exact qname, then unique tail)."""
+        if name in self.classes:
+            return self.classes[name]
+        tail = name.rsplit(".", 1)[-1]
+        candidates = self._class_by_tail.get(tail, ())
+        if len(candidates) == 1:
+            return self.classes[candidates[0]]
+        for qname in candidates:        # prefer a module-path match
+            if qname.endswith(name):
+                return self.classes[qname]
+        return None
+
+    def _method_owner(self, cls: ClassInfo, method: str,
+                      depth: int = 0) -> Optional[str]:
+        """Qname of *method* looked up through the project MRO slice."""
+        if method in cls.methods:
+            return f"{cls.qname}.{method}"
+        if depth >= 8:
+            return None
+        for base in cls.bases:
+            base_cls = self._resolve_class(base)
+            if base_cls is not None:
+                found = self._method_owner(base_cls, method, depth + 1)
+                if found:
+                    return found
+        return None
+
+    def _link(self) -> None:
+        """Resolve every call site to a project function where possible."""
+        for info in self.modules.values():
+            for fn in info.functions.values():
+                cls = self.classes.get(fn.cls) if fn.cls else None
+                for site in fn.calls:
+                    site.resolved = self._resolve_site(info, fn, cls, site)
+                for sub in fn.submits:
+                    sub.is_process_pool = self._recv_is_process_pool(
+                        info, cls, sub.recv)
+                    if sub.fn and sub.fn not in self.functions:
+                        resolved = self._resolve_name(info, cls, sub.fn)
+                        sub.fn = resolved or ""
+                    sub.arg_types = tuple(
+                        (self._resolve_class(t).qname
+                         if self._resolve_class(t) else t)
+                        for t in sub.arg_types)
+
+    def _resolve_site(self, info: ModuleInfo, fn: FunctionInfo,
+                      cls: Optional[ClassInfo], site: CallSite) -> str:
+        resolved = self._resolve_name(info, cls, site.name, local_hint=fn)
+        for alt in site.alt_names if resolved is None else ():
+            resolved = self._resolve_name(info, cls, alt, local_hint=fn)
+            if resolved is not None:
+                break
+        return resolved or ""
+
+    def _recv_is_process_pool(self, info: ModuleInfo,
+                              cls: Optional[ClassInfo], recv: str) -> bool:
+        """Whether a submit receiver types as ProcessPoolExecutor —
+        directly, or through the return annotation of the function that
+        produced it (``pool = self._checkout_pool()``)."""
+        name = recv[5:] if recv.startswith("call:") else recv
+        if not name:
+            return False
+        if name.rsplit(".", 1)[-1] == "ProcessPoolExecutor":
+            return True
+        producer = self._resolve_name(info, cls, name)
+        if producer and producer in self.functions:
+            ret = self.functions[producer].returns
+            return ret.rsplit(".", 1)[-1] == "ProcessPoolExecutor"
+        return False
+
+    def _resolve_name(self, info: ModuleInfo, cls: Optional[ClassInfo],
+                      name: str, local_hint: Optional[FunctionInfo] = None,
+                      ) -> Optional[str]:
+        head, _, rest = name.partition(".")
+        # self.method() / super().method() — project MRO lookup.
+        if head in ("self", "super") and cls is not None and rest:
+            parts = rest.split(".")
+            if len(parts) == 1:
+                start = cls
+                if head == "super":
+                    for base in cls.bases:
+                        base_cls = self._resolve_class(base)
+                        if base_cls is not None:
+                            owner = self._method_owner(base_cls, parts[0])
+                            if owner:
+                                return owner
+                    return None
+                owner = self._method_owner(start, parts[0])
+                if owner:
+                    return owner
+                return None
+            # self.attr.method() — typed-attribute dispatch.
+            attr, method = parts[0], parts[-1]
+            attr_type = cls.attr_types.get(attr, "")
+            target = self._resolve_class(attr_type) if attr_type else None
+            if target is not None:
+                return self._method_owner(target, method)
+            return None
+        # Module-level function / class in this module.
+        mod_prefix = info.module + "." if info.module else ""
+        candidate = mod_prefix + name
+        if candidate in self.functions:
+            return candidate
+        if candidate in self.classes:
+            init = candidate + ".__init__"
+            return init if init in self.functions else candidate
+        # Fully-qualified (import-expanded) name.
+        if name in self.functions:
+            return name
+        if name in self.classes:
+            init = name + ".__init__"
+            return init if init in self.functions else name
+        # Class.method via a resolvable class prefix: Foo.bar / pkg.Foo.bar.
+        if "." in name:
+            prefix, method = name.rsplit(".", 1)
+            target = self._resolve_class(prefix)
+            if target is not None:
+                return self._method_owner(target, method)
+            # var.method() with a typed local (resolved at extraction for
+            # submit sites only) — try the attr-values route: not enough
+            # information here, give up.
+        return None
+
+    # -- queries ---------------------------------------------------------
+
+    def edges_from(self, qname: str) -> List[CallSite]:
+        """Resolved + unresolved call sites of one function (stable order)."""
+        fn = self.functions.get(qname)
+        return list(fn.calls) if fn is not None else []
+
+    def find_path(self, start: str, is_terminal, *,
+                  max_depth: int = MAX_DEPTH,
+                  min_hops: int = 0) -> Optional[List[CallSite]]:
+        """Bounded BFS from *start* to the first call site satisfying
+        ``is_terminal(site)``; returns the call-site chain or None.
+
+        ``min_hops`` skips terminals found in the first N expansions
+        (SL102 ignores direct reads — those are SL001's findings).
+        Deterministic: functions expand in sorted call-site order.
+        """
+        queue: List[Tuple[str, List[CallSite]]] = [(start, [])]
+        seen: Set[str] = {start}
+        depth = 0
+        while queue and depth <= max_depth:
+            next_queue: List[Tuple[str, List[CallSite]]] = []
+            for qname, chain in queue:
+                for site in self.edges_from(qname):
+                    if depth >= min_hops and is_terminal(site):
+                        return chain + [site]
+                    target = site.resolved
+                    if target and target in self.functions and target not in seen:
+                        seen.add(target)
+                        next_queue.append((target, chain + [site]))
+            queue = next_queue
+            depth += 1
+        return None
+
+    def functions_under(self, *parts: str) -> List[FunctionInfo]:
+        """Functions whose path contains any of the given directory parts,
+        sorted by (path, lineno) for deterministic rule evaluation."""
+        wanted = set(parts)
+        out = [fn for fn in self.functions.values()
+               if wanted.intersection(pathlib.PurePath(fn.path).parts)]
+        out.sort(key=lambda f: (f.path, f.lineno, f.qname))
+        return out
+
+    def field_types(self, cls: ClassInfo, depth: int = 0,
+                    ) -> List[Tuple[FieldInfo, "ClassInfo"]]:
+        """``(field, self_class)`` pairs for *cls* and its project bases."""
+        out = [(f, cls) for f in cls.fields]
+        if depth < 4:
+            for base in cls.bases:
+                base_cls = self._resolve_class(base)
+                if base_cls is not None:
+                    out.extend(self.field_types(base_cls, depth + 1))
+        return out

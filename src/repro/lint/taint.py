@@ -1,0 +1,132 @@
+"""Determinism-taint propagation over the project call graph (SL102).
+
+SL001 bans *direct* wall-clock/entropy reads file by file. What it cannot
+see is the indirect leak: a helper in ``telemetry/`` or ``util/`` that
+reads ``time.time()``, called from a helper, called from ``sim/``. This
+module turns SL001's source set into a two-point taint lattice
+(``CLEAN < TAINTED``) and propagates it backwards over resolved call
+edges, so the deterministic core's purity becomes a whole-program
+reachability query instead of a per-file pattern match.
+
+The lattice is deliberately minimal: a function is TAINTED the moment
+any call it can reach resolves to a source, and joins are set union over
+witness paths. Injected clocks (``self._clock`` bound to a constructor
+parameter) stay CLEAN — there is no static binding to a source — which
+is exactly the sanctioned pattern (:data:`repro.serve.service.WALL_CLOCK`
+is referenced, passed, and only *called* outside simulation paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .graph import MAX_DEPTH, CallSite, ProjectContext
+
+#: Call targets whose *invocation* taints a function. This is SL001's
+#: forbidden set (kept in sync by a test) plus the module prefixes whose
+#: every entry point is entropy-backed.
+SOURCES = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+}
+SOURCE_PREFIXES = ("random.", "secrets.")
+
+
+def is_source_name(name: str) -> bool:
+    """Whether a resolved dotted call target is a determinism source."""
+    return name in SOURCES or name.startswith(SOURCE_PREFIXES)
+
+
+def site_source(site: CallSite) -> Optional[str]:
+    """The source name a call site invokes, if any (checks aliases too:
+    ``WALL_CLOCK()`` with ``WALL_CLOCK = time.monotonic`` is a source)."""
+    if is_source_name(site.name):
+        return site.name
+    for alt in site.alt_names:
+        if is_source_name(alt):
+            return alt
+    return None
+
+
+@dataclass(frozen=True)
+class TaintWitness:
+    """Proof that a function is tainted: the chain of call sites from its
+    body to the wall-clock/entropy read, plus the resolved source name."""
+
+    chain: Tuple[CallSite, ...]
+    source: str
+
+    @property
+    def entry(self) -> CallSite:
+        """The first hop — the call in the tainted function's own body."""
+        return self.chain[0]
+
+    @property
+    def sink(self) -> CallSite:
+        """The terminal hop — the actual source invocation."""
+        return self.chain[-1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.chain)
+
+    def describe(self) -> str:
+        """Human-readable `a -> b -> time.time` route."""
+        names = [s.name for s in self.chain[:-1]] + [self.source]
+        return " -> ".join(names)
+
+
+class TaintAnalysis:
+    """Query-oriented taint results over one :class:`ProjectContext`.
+
+    Witnesses are memoized per function; ``min_hops`` lets SL102 skip
+    direct reads (hop count 1), which SL001 already owns.
+    """
+
+    def __init__(self, project: ProjectContext,
+                 max_depth: int = MAX_DEPTH):
+        self.project = project
+        self.max_depth = max_depth
+        self._memo: Dict[Tuple[str, int], Optional[TaintWitness]] = {}
+
+    def witness(self, qname: str, *, min_hops: int = 0,
+                ) -> Optional[TaintWitness]:
+        """The first taint witness for *qname* (BFS order), or None."""
+        key = (qname, min_hops)
+        if key not in self._memo:
+            chain = self.project.find_path(
+                qname, lambda site: site_source(site) is not None,
+                max_depth=self.max_depth, min_hops=min_hops)
+            if chain is None:
+                self._memo[key] = None
+            else:
+                self._memo[key] = TaintWitness(
+                    chain=tuple(chain),
+                    source=site_source(chain[-1]) or chain[-1].name)
+        return self._memo[key]
+
+    def tainted(self, qname: str) -> bool:
+        """CLEAN/TAINTED verdict for one function."""
+        return self.witness(qname) is not None
+
+    def core_leaks(self, *parts: str, min_hops: int = 1,
+                   ) -> List[Tuple[str, TaintWitness]]:
+        """``(function qname, witness)`` for every function under the
+        given directory parts that transitively reaches a source.
+
+        ``min_hops=1`` (the SL102 default) reports only *indirect* leaks:
+        the source must sit at least one call away, i.e. inside another
+        function — direct reads are SL001 findings already.
+        """
+        leaks: List[Tuple[str, TaintWitness]] = []
+        for fn in self.project.functions_under(*parts):
+            w = self.witness(fn.qname, min_hops=min_hops)
+            if w is not None:
+                leaks.append((fn.qname, w))
+        return leaks

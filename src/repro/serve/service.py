@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import functools
 import os
 import signal
 import time
@@ -217,7 +218,7 @@ class ExperimentService:
             self._publish("draining")
             self._check_idle()
         await self._idle.wait()
-        stats = self.stats()
+        stats = await self.stats_async()
         self._publish("drained")
         self._stopped.set()
         return stats
@@ -250,8 +251,28 @@ class ExperimentService:
 
     # -- stats / events ----------------------------------------------------
 
-    def stats(self) -> Dict[str, object]:
-        """The status endpoint's snapshot (also the drain report)."""
+    async def stats_async(self) -> Dict[str, object]:
+        """The status endpoint's snapshot (also the drain report).
+
+        The store section reads the manifest under the advisory flock —
+        a blocking syscall — so it is gathered on the offload pool, not
+        the event-loop thread.
+        """
+        store = None
+        if self.store is not None:
+            loop = asyncio.get_running_loop()
+            if self._offload is not None:
+                store = await loop.run_in_executor(
+                    self._offload, store_status, self.store)
+            else:       # not started yet (direct API use): borrow a thread
+                store = await asyncio.to_thread(store_status, self.store)
+        return self.stats(store=store)
+
+    def stats(self, *, store: Optional[Dict[str, object]] = None,
+              ) -> Dict[str, object]:
+        """Synchronous snapshot; *store* is the pre-gathered store
+        section (:func:`~repro.campaign.store.store_status` output) —
+        pass it explicitly, since gathering it here would block."""
         m = self.metrics
         hits = m.counter("cache.hits").value
         simulated = m.counter("jobs.simulated").value
@@ -284,7 +305,7 @@ class ExperimentService:
             "pauses": pause_summary,
             "subscribers": len(self._subscribers),
             "metrics": m.to_dict(),
-            "store": store_status(self.store) if self.store else None,
+            "store": store,
         }
 
     def _publish(self, kind: str, **fields) -> None:
@@ -352,7 +373,7 @@ class ExperimentService:
         if op == "ping":
             await conn.send(protocol.pong_msg(rid))
         elif op == "status":
-            await conn.send(protocol.stats_msg(rid, self.stats()))
+            await conn.send(protocol.stats_msg(rid, await self.stats_async()))
         elif op == "subscribe":
             self._subscribers.add(conn)
             await conn.send(protocol.subscribed_msg(rid))
@@ -471,8 +492,19 @@ class ExperimentService:
                                   error=outcome.error, attempt=job.attempts)
                     self._queue.put_nowait(job)
                     continue
+                # Store writes take the flock and fsync — off the loop
+                # thread; futures/metrics/events stay loop-side.
+                if self.store is not None:
+                    await loop.run_in_executor(
+                        self._offload,
+                        functools.partial(self.store.record_cell_failure,
+                                          outcome, attempts=job.attempts))
                 self._quarantine(job, outcome, finished)
             else:
+                if self.store is not None:
+                    await loop.run_in_executor(
+                        self._offload, self.store.record_ok,
+                        job.cell, outcome)
                 self._complete(job, outcome, finished)
             self._check_idle()
 
@@ -488,9 +520,9 @@ class ExperimentService:
         }
 
     def _complete(self, job: _Job, result, finished: float) -> None:
+        """Loop-side completion (the store write already happened on the
+        offload thread in :meth:`_worker_loop`)."""
         m = self.metrics
-        if self.store is not None:
-            self.store.record_ok(job.cell, result)
         self._observe_pauses(result)
         meta = self._job_meta(job, finished)
         m.counter("jobs.simulated").inc()
@@ -514,8 +546,6 @@ class ExperimentService:
                     finished: float) -> None:
         m = self.metrics
         m.counter("jobs.quarantined").inc()
-        if self.store is not None:
-            self.store.record_cell_failure(failure, attempts=job.attempts)
         meta = self._job_meta(job, finished)
         self._inflight.pop(job.digest, None)
         self._publish("quarantined", digest=job.digest[:12],

@@ -1,0 +1,23 @@
+"""SL105 true positive: a live exception rides into a process pool.
+
+``Job.error`` holds a ``BaseException`` — which drags its traceback and
+every frame local along — and the class does nothing about it, so the
+first failure becomes an opaque ``PicklingError`` inside the pool
+machinery instead of a reportable result.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+
+class Job:
+    payload: str
+    error: Optional[BaseException]
+
+
+def run(job):
+    return job
+
+
+def submit_one(pool: ProcessPoolExecutor, job: Job):
+    return pool.submit(run, job)

@@ -1,0 +1,25 @@
+"""SL105 near-miss: the same payload shape, made pickle-safe.
+
+``SafeJob`` also carries an exception field, but ``__getstate__`` strips
+it at the boundary — the author has taken over serialization, so the
+static audit stands down.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+
+class SafeJob:
+    payload: str
+    error: Optional[BaseException]
+
+    def __getstate__(self):
+        return {"payload": self.payload, "error": None}
+
+
+def run(job):
+    return job
+
+
+def submit_one(pool: ProcessPoolExecutor, job: SafeJob):
+    return pool.submit(run, job)

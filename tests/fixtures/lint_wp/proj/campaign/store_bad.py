@@ -1,0 +1,32 @@
+"""SL103 true positive: a store-file write outside ``.locked()``.
+
+The class *has* the lock discipline (``locked`` exists, the happy path
+uses it) — ``append_unlocked`` is the one method that forgot, which is
+exactly the regression shape the rule hunts.
+"""
+
+import contextlib
+import fcntl
+
+
+class Store:
+    def __init__(self, root):
+        self.records_path = root / "records.jsonl"
+        self.lock_path = root / "lock"
+
+    @contextlib.contextmanager
+    def locked(self):
+        with open(self.lock_path, "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def append_unlocked(self, line):
+        with open(self.records_path, "a") as fh:
+            fh.write(line)
+
+    def clear(self):
+        with self.locked():
+            self.records_path.unlink()

@@ -1,0 +1,40 @@
+"""SL103 near-misses: the three compliant shapes.
+
+* ``append`` mutates lexically under ``with self.locked():``;
+* ``_append_locked``'s write is bare, but *every* caller holds the lock
+  (the one-hop caller-holds-lock idiom);
+* ``locked`` itself opens the lock file — the flock target must be
+  opened to be flocked, so the rule exempts the acquisition method.
+"""
+
+import contextlib
+import fcntl
+
+
+class Store:
+    def __init__(self, root):
+        self.records_path = root / "records.jsonl"
+        self.lock_path = root / "lock"
+
+    @contextlib.contextmanager
+    def locked(self):
+        with open(self.lock_path, "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def append(self, line):
+        with self.locked():
+            with open(self.records_path, "a") as fh:
+                fh.write(line)
+
+    def _append_locked(self, line):
+        with open(self.records_path, "a") as fh:
+            fh.write(line)
+
+    def extend(self, lines):
+        with self.locked():
+            for line in lines:
+                self._append_locked(line)

@@ -1,0 +1,35 @@
+"""SL101 + SL104 true positives.
+
+* ``handler`` reaches a blocking ``open`` through a sync helper — the
+  event loop stalls while the write syscall runs.
+* ``nap`` blocks directly (1-hop chains are findings too).
+* ``kick``/``kick_local`` spawn tasks nothing holds a reference to.
+"""
+
+import asyncio
+import time
+
+
+def write_log(path, data):
+    with open(path, "a") as fh:
+        fh.write(data)
+
+
+async def handler(path, data):
+    write_log(path, data)
+
+
+async def nap():
+    time.sleep(0.1)
+
+
+async def beat():
+    pass
+
+
+async def kick():
+    asyncio.create_task(beat())
+
+
+async def kick_local():
+    task = asyncio.create_task(beat())

@@ -1,0 +1,29 @@
+"""SL101 + SL104 near-misses: the sanctioned async idioms.
+
+* ``handler`` offloads the same blocking helper through
+  ``run_in_executor`` — the function crosses as a *reference*, so the
+  loop never runs it.
+* ``kick`` keeps the task referenced and observes its outcome.
+"""
+
+import asyncio
+
+
+def write_log(path, data):
+    with open(path, "a") as fh:
+        fh.write(data)
+
+
+async def handler(path, data):
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, write_log, path, data)
+
+
+async def beat():
+    pass
+
+
+async def kick(tasks):
+    task = asyncio.create_task(beat())
+    tasks.add(task)
+    task.add_done_callback(tasks.discard)

@@ -1,0 +1,11 @@
+"""SL102 true positive: a 2-call-hop wall-clock leak into sim/.
+
+``tick`` never mentions ``time`` — the read is two project calls away
+(``tick -> hop -> stamp -> time.time``), invisible to per-file SL001.
+"""
+
+from ..util.indirect import hop
+
+
+def tick(state):
+    return state + hop()

@@ -1,0 +1,15 @@
+"""SL102 near-miss: the injected-clock pattern stays CLEAN.
+
+``self._clock`` is bound to a constructor *parameter* — there is no
+static binding to a wall-clock source, so calling it taints nothing.
+This is the sanctioned dependency-injection idiom the rule must not
+flag.
+"""
+
+
+class Engine:
+    def __init__(self, clock):
+        self._clock = clock
+
+    def tick(self, state):
+        return state + self._clock()

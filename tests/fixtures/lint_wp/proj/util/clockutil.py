@@ -1,0 +1,14 @@
+"""Wall-clock helper: the taint *source* for the SL102 fixtures.
+
+``stamp`` never spells ``time.time()`` directly — it calls through the
+module-level alias, which is exactly the indirection per-file SL001
+resolves locally and the whole-program pass must carry across modules.
+"""
+
+import time
+
+WALL = time.time
+
+
+def stamp():
+    return WALL()

@@ -1,0 +1,7 @@
+"""One more hop between the clock read and the core (SL102 fixtures)."""
+
+from .clockutil import stamp
+
+
+def hop():
+    return stamp() + 1.0

@@ -1,0 +1,211 @@
+"""CLI contract tests for ``repro-lint`` v2: exit-code semantics,
+SARIF output, the ``--wp`` pass, suppression block toggles and the
+stale-suppression report."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import SuppressionTable, default_rules, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.sarif import validate
+
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+WP_FIX = pathlib.Path(__file__).parent / "fixtures" / "lint_wp"
+
+
+class TestExitCodes:
+    """0 = clean, 1 = findings, 2 = the lint pass itself is broken."""
+
+    def test_zero_on_clean(self):
+        assert lint_main(["--no-baseline", str(FIXTURES / "clean.py")]) == 0
+
+    def test_one_on_findings(self):
+        assert lint_main(["--no-baseline", str(FIXTURES / "sl002_rng.py")]) == 1
+
+    def test_two_on_unparseable_file(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert lint_main(["--no-baseline", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "does not parse" in err
+
+    def test_two_without_input_files(self, tmp_path):
+        assert lint_main([str(tmp_path)]) == 2
+
+    def test_unparseable_outranks_findings(self, tmp_path):
+        # One broken file + one file with violations: the broken pass
+        # wins — a partial verdict must not read as "just findings".
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "dirty.py").write_text("import time\nt = time.time()\n")
+        assert lint_main(["--no-baseline", "--no-config",
+                          str(tmp_path)]) == 2
+
+    def test_crashed_rule_exits_two(self, tmp_path):
+        class Exploding:
+            rule_id = "SL999"
+            whole_program = False
+
+            def applies(self, ctx):
+                return True
+
+            def check(self, ctx):
+                raise RuntimeError("boom")
+
+        result = run_lint([str(FIXTURES / "clean.py")], [Exploding()])
+        assert result.errors and not result.findings
+        assert "SL999" in result.errors[0].message
+
+
+class TestWpFlag:
+    def test_wp_runs_project_rules(self, capsys):
+        rc = lint_main(["--wp", "--no-baseline", "--no-config", str(WP_FIX)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SL101" in out and "SL102" in out
+
+    def test_without_wp_project_rules_stay_off(self, capsys):
+        lint_main(["--no-baseline", "--no-config", str(WP_FIX)])
+        out = capsys.readouterr().out
+        assert "SL102" not in out
+
+    def test_selecting_wp_rule_implies_wp(self, capsys):
+        rc = lint_main(["--select", "SL102", "--no-baseline", "--no-config",
+                        str(WP_FIX)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SL102" in out and "SL101" not in out
+
+    def test_list_rules_includes_wp_family(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SL101", "SL102", "SL103", "SL104", "SL105"):
+            assert rule_id in out
+        assert "[whole-program]" in out
+
+
+class TestSarifCli:
+    def test_format_sarif_to_file(self, tmp_path):
+        out = tmp_path / "lint.sarif"
+        rc = lint_main(["--wp", "--no-baseline", "--no-config",
+                        "--format", "sarif", "--output", str(out),
+                        str(WP_FIX)])
+        assert rc == 1                      # exit code still reflects findings
+        doc = json.loads(out.read_text())
+        assert validate(doc) == []
+        assert {r["ruleId"] for r in doc["runs"][0]["results"]} >= {
+            "SL101", "SL102", "SL103", "SL104", "SL105"}
+
+    def test_format_sarif_clean_run(self, tmp_path, capsys):
+        rc = lint_main(["--no-baseline", "--format", "sarif",
+                        str(FIXTURES / "clean.py")])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out.split("repro-lint:")[0])
+        assert validate(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+
+class TestSuppressionEdgeCases:
+    def test_off_on_block_toggles(self):
+        table = SuppressionTable.from_source(
+            "a = 1\n"
+            "# simlint: off=SL001 -- generated shims\n"
+            "b = 2\n"
+            "# simlint: on\n"
+            "c = 3\n"
+        )
+        assert not table.is_suppressed("SL001", 1)
+        assert table.is_suppressed("SL001", 3)
+        assert not table.is_suppressed("SL001", 5)
+        assert not table.is_suppressed("SL002", 3)  # other rules unaffected
+
+    def test_bare_off_silences_everything_to_eof(self):
+        table = SuppressionTable.from_source("# simlint: off\nx = 1\n")
+        assert table.is_suppressed("SL001", 2)
+        assert table.is_suppressed("SL006", 999)
+
+    def test_on_closes_only_intersecting_blocks(self):
+        table = SuppressionTable.from_source(
+            "# simlint: off=SL001\n"
+            "# simlint: off=SL002\n"
+            "# simlint: on=SL001\n"
+            "x = 1\n"
+        )
+        assert not table.is_suppressed("SL001", 4)
+        assert table.is_suppressed("SL002", 4)
+
+    def test_block_toggle_suppresses_real_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\n"
+            "# simlint: off=SL001 -- calibration block\n"
+            "t = time.time()\n"
+            "# simlint: on\n"
+        )
+        result = run_lint([str(target)], default_rules())
+        assert not result.findings
+        assert len(result.suppressed) == 1
+
+    def test_report_unused_suppressions_fails_run(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1  # simlint: disable=SL001 -- stale\n")
+        rc = lint_main(["--no-baseline", "--no-config",
+                        "--report-unused-suppressions", str(target)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "unused suppression" in err
+
+    def test_used_suppressions_not_reported(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time()  # simlint: disable=SL001 -- calibration\n")
+        rc = lint_main(["--no-baseline", "--no-config",
+                        "--report-unused-suppressions", str(target)])
+        assert rc == 0
+        assert "unused" not in capsys.readouterr().err
+
+
+class TestConfig:
+    def test_profile_restricts_rules(self, tmp_path, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.simlint]\n"
+            'paths = ["pkg"]\n'
+            "[tool.simlint.profiles]\n"
+            'pkg = ["SL002"]\n'
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import time\nt = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        # SL001 is outside the profile: the wall-clock read passes.
+        assert lint_main(["--no-baseline"]) == 0
+        # --no-config restores the full rule set.
+        assert lint_main(["--no-baseline", "--no-config", "pkg"]) == 1
+
+    def test_exclude_prunes_directory_walks(self, tmp_path, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.simlint]\n"
+            'paths = ["pkg"]\n'
+            'exclude = ["pkg/generated"]\n'
+        )
+        gen = tmp_path / "pkg" / "generated"
+        gen.mkdir(parents=True)
+        (gen / "mod.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--no-baseline"]) == 0
+
+    def test_mini_toml_fallback_parses_the_table(self):
+        from repro.lint.config import _mini_toml
+        data = _mini_toml(
+            "[tool.simlint]\n"
+            'paths = ["src", "tests"]\n'
+            'exclude = []\n'
+            "[tool.simlint.profiles]\n"
+            'tests = ["SL001", "SL002"]\n'
+        )
+        table = data["tool"]["simlint"]
+        assert table["paths"] == ["src", "tests"]
+        assert table["profiles"]["tests"] == ["SL001", "SL002"]

@@ -16,7 +16,8 @@ from .pauses import (PauseStats, heap_occupancy_series, inter_pause_intervals,
                      pause_percentiles, pause_scatter, pause_stats)
 from .tlab import TLABInfluence, classify_tlab
 from .ranking import RankingResult, rank_by_wins
-from .latency import LatencyBandStats, latency_band_stats, gc_overlap_fraction
+from .latency import (LatencyBandStats, LatencySummary, latency_band_stats,
+                      gc_overlap_fraction)
 from .summary import GCVerdict, qualitative_summary
 from .report import render_table, render_series
 from .ascii_plot import scatter_plot
@@ -35,6 +36,7 @@ __all__ = [
     "RankingResult",
     "rank_by_wins",
     "LatencyBandStats",
+    "LatencySummary",
     "latency_band_stats",
     "gc_overlap_fraction",
     "GCVerdict",

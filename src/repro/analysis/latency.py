@@ -17,7 +17,7 @@ Everything is vectorized (the traces hold >1 M points).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -150,6 +150,114 @@ def latency_band_stats(
         )
         factor *= 2.0
     return stats
+
+
+@dataclass
+class LatencySummary:
+    """Exactly-mergeable latency aggregate (per-node → fleet rollup).
+
+    A fleet study records latencies on many nodes and needs fleet-level
+    percentiles per policy. Re-collecting raw samples would re-bucket
+    them (and cost memory proportional to the trace); this summary
+    instead carries the same audited :class:`LogHistogram` that
+    :func:`latency_band_stats` builds, whose merge is **exactly
+    associative and commutative** (integer bucket counts, integer
+    ``sum_units``, exact min/max) — so any aggregation tree over the
+    nodes produces bit-identical fleet statistics. AVG comes from the
+    histogram's integer unit sum (unit-resolution exact), MIN/MAX are
+    the raw observed extremes, and percentiles are the histogram's
+    rank-based never-under-estimating ones.
+    """
+
+    hist: LogHistogram = field(default_factory=lambda: LogHistogram(unit=1e-3))
+
+    @classmethod
+    def of_values(cls, latencies_ms) -> "LatencySummary":
+        """Summary of a raw latency array (ms)."""
+        s = cls()
+        s.hist.record_array(np.asarray(latencies_ms, dtype=float))
+        return s
+
+    @classmethod
+    def of_band_stats(cls, stats: LatencyBandStats) -> "LatencySummary":
+        """Adopt the histogram a :func:`latency_band_stats` call built."""
+        if stats.hist is None:
+            raise ConfigError("band stats carry no histogram to merge")
+        return cls(hist=stats.hist)
+
+    # -- the merge path --------------------------------------------------
+
+    def merge(self, other: "LatencySummary") -> "LatencySummary":
+        """Fold *other* in (exact; returns self)."""
+        self.hist.merge(other.hist)
+        return self
+
+    @classmethod
+    def merged(cls, summaries) -> "LatencySummary":
+        """Merge an iterable of summaries into a fresh one."""
+        out = cls()
+        for s in summaries:
+            out.hist.merge(s.hist)
+        return out
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total recorded operations."""
+        return self.hist.total_count
+
+    @property
+    def avg_ms(self) -> float:
+        """Mean latency at histogram-unit (1 µs) resolution."""
+        return self.hist.mean
+
+    @property
+    def min_ms(self) -> float:
+        """Exact observed minimum (0 when empty)."""
+        return self.hist.min_raw if self.hist.min_raw is not None else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        """Exact observed maximum (0 when empty)."""
+        return self.hist.max_raw if self.hist.max_raw is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Histogram percentile (never under-estimates)."""
+        return self.hist.percentile(q)
+
+    def count_above(self, threshold_ms: float) -> int:
+        """Operations in buckets entirely above *threshold_ms*.
+
+        Band shares over a merged summary resolve at bucket granularity
+        (the straddling bucket is excluded), which keeps the answer a
+        deterministic function of the merged counts alone.
+        """
+        n = 0
+        for lo, _hi, count in self.hist.iter_buckets():
+            if lo >= threshold_ms:
+                n += count
+        return n
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """Report rows in the paper's AVG/MAX/MIN + percentile order."""
+        out = [
+            ("AVG(ms)", round(self.avg_ms, 3)),
+            ("MAX(ms)", round(self.max_ms, 3)),
+            ("MIN(ms)", round(self.min_ms, 3)),
+        ]
+        for q in _LATENCY_QS:
+            out.append((f"P{q:g}(ms)", round(self.percentile(q), 3)))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (delegates to the histogram's codec)."""
+        return {"hist": self.hist.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "LatencySummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(hist=LogHistogram.from_dict(d["hist"]))
 
 
 def gc_overlap_fraction(

@@ -19,7 +19,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-perf``      — profile the simulator itself: hot-spot report and
   engine event rates for one cell (see :mod:`repro.perf`);
 * ``repro-serve``     — the async experiment service: submit jobs over a
-  socket, served from the shared result cache (see :mod:`repro.serve`).
+  socket, served from the shared result cache (see :mod:`repro.serve`);
+* ``repro-fleet``     — GC-aware load balancing and opportunistic
+  scaling over a simulated Cassandra fleet (see :mod:`repro.fleet`).
 
 ``repro-dacapo --audit`` additionally attaches the runtime
 :class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
@@ -305,6 +307,13 @@ def perf_main(argv: Optional[List[str]] = None) -> int:
 def serve_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-serve``: the async experiment service."""
     from .serve.cli import main
+
+    return main(argv)
+
+
+def fleet_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-fleet``: fleet balancing/scaling studies."""
+    from .fleet.cli import main
 
     return main(argv)
 

@@ -1,0 +1,61 @@
+"""Fleet: GC-aware load balancing and opportunistic scaling.
+
+The paper studies one JVM at a time; this subsystem asks the question a
+Cassandra operator actually faces — *given a fleet of such JVMs under
+diurnal traffic, does routing around (or scheduling) collections beat
+pretending they don't exist?* It composes the repository's existing
+pieces:
+
+* a **calibrated node surrogate** (:mod:`~repro.fleet.node`) distilled
+  from one full discrete-event Cassandra JVM run per collector;
+* an **open-loop diurnal traffic model** (:mod:`~repro.fleet.traffic`)
+  — sinusoid + lognormal noise + bursts over millions of users;
+* a **pluggable balancer** (:mod:`~repro.fleet.balancer`) with GC-blind
+  and GC-aware policies (:mod:`~repro.fleet.policies`), including
+  Monk-style forced collections in traffic valleys;
+* a GC-blind **reactive autoscaler** (:mod:`~repro.fleet.autoscaler`);
+* the **study driver** (:mod:`~repro.fleet.study`) producing the Fig.
+  5-style per-policy tail-latency and node-count deliverables.
+
+Everything is deterministic: same seed ⇒ byte-identical study JSON.
+"""
+
+from .autoscaler import AutoscalerConfig, ReactiveAutoscaler, ScaleEvent
+from .balancer import FleetBalancer, split_ops
+from .node import FleetNode, GCCalibration, NodeModelConfig, calibrate
+from .policies import (LeastOutstandingPolicy, MonkPolicy, POLICY_NAMES,
+                       PausePredictivePolicy, Policy, RoundRobinPolicy,
+                       make_policy)
+from .study import (FLEET_BENCHMARK, FleetStudyConfig, FleetStudyResult,
+                    PolicyOutcome, calibrate_collector, run_fleet_study,
+                    simulate_policy)
+from .traffic import DAY, DiurnalTraffic, TrafficConfig
+
+__all__ = [
+    "DAY",
+    "TrafficConfig",
+    "DiurnalTraffic",
+    "GCCalibration",
+    "NodeModelConfig",
+    "FleetNode",
+    "calibrate",
+    "Policy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "PausePredictivePolicy",
+    "MonkPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "FleetBalancer",
+    "split_ops",
+    "AutoscalerConfig",
+    "ReactiveAutoscaler",
+    "ScaleEvent",
+    "FLEET_BENCHMARK",
+    "FleetStudyConfig",
+    "FleetStudyResult",
+    "PolicyOutcome",
+    "calibrate_collector",
+    "simulate_policy",
+    "run_fleet_study",
+]

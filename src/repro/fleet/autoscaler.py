@@ -1,0 +1,173 @@
+"""Reactive autoscaler: the horizontal-scaling half of the Monk study.
+
+The autoscaler is deliberately GC-blind — it watches the fleet's SLO
+breach rate the way a cloud autoscaler watches a latency alarm, with no
+idea *why* the tail moved. That is the point of the comparison: under a
+GC-blind routing policy, threshold-triggered full collections at peak
+read as capacity shortfalls and provoke scale-outs (new nodes, warmup,
+cost); under Monk's valley collections the same signal stays quiet and
+the scale-out is *delayed or avoided entirely* — the paper-extension's
+headline claim.
+
+Scale-in runs only in traffic valleys at low utilization, newest node
+first, so the node-count-over-time curve shows the diurnal breathing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..telemetry.tracer import NULL_TRACER
+from .balancer import FleetBalancer
+from .node import FleetNode, GCCalibration, NodeModelConfig
+from .traffic import DiurnalTraffic
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive scaling parameters."""
+
+    min_nodes: int = 4
+    max_nodes: int = 64
+    #: An operation slower than this breaches the SLO.
+    slo_ms: float = 50.0
+    #: Rolling window over which the breach fraction is evaluated.
+    window: float = 60.0
+    #: Scale out when the window's breach fraction exceeds this.
+    breach_fraction: float = 0.02
+    #: Seconds a new node takes to warm up before taking traffic.
+    warmup: float = 180.0
+    #: Minimum time between scaling actions.
+    cooldown: float = 600.0
+    #: Scale in below this utilization (offered rate / fleet capacity),
+    #: and only in a traffic valley.
+    scale_in_utilization: float = 0.35
+    #: Nominal per-node capacity (ops/s) for the utilization estimate.
+    node_capacity_ops: float = 1350.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ConfigError("need 1 <= min_nodes <= max_nodes")
+        if self.slo_ms <= 0 or self.window <= 0 or self.cooldown <= 0:
+            raise ConfigError("slo_ms, window and cooldown must be positive")
+        if not 0 < self.breach_fraction < 1:
+            raise ConfigError("breach_fraction must be in (0, 1)")
+        if self.warmup < 0 or self.node_capacity_ops <= 0:
+            raise ConfigError("warmup >= 0 and node_capacity_ops > 0 required")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One scaling action (for the node-count / scale-delay curves)."""
+
+    t: float
+    action: str          #: "out" | "in"
+    n_nodes: int         #: fleet size after the action
+    reason: str
+
+    def to_dict(self) -> dict:
+        """JSON-safe row."""
+        return {"t": self.t, "action": self.action,
+                "n_nodes": self.n_nodes, "reason": self.reason}
+
+
+class ReactiveAutoscaler:
+    """Breach-rate-driven scaling over a :class:`FleetBalancer`."""
+
+    def __init__(self, config: AutoscalerConfig, cal: GCCalibration,
+                 model: NodeModelConfig, seed: int, tracer=NULL_TRACER):
+        self.config = config
+        self.cal = cal
+        self.model = model
+        self.seed = int(seed)
+        self.tracer = tracer
+        self.events: List[ScaleEvent] = []
+        #: Nodes removed by scale-in (kept: their latency histograms
+        #: still belong to the study's fleet aggregate).
+        self.retired: List[FleetNode] = []
+        self._window_ops = 0
+        self._window_breaches = 0
+        self._window_started = 0.0
+        self._last_action = float("-inf")
+        self._next_node_id = 0
+
+    def attach(self, balancer: FleetBalancer) -> None:
+        """Adopt the balancer's initial nodes into the id sequence."""
+        self._next_node_id = max(n.node_id for n in balancer.nodes) + 1
+
+    def observe(self, t: float, dt: float, balancer: FleetBalancer,
+                traffic: DiurnalTraffic, latencies, counts) -> None:
+        """Fold one tick's latency classes into the rolling window and
+        act when the window closes."""
+        c = self.config
+        for lat, n in zip(latencies, counts):
+            self._window_ops += int(n)
+            if lat > c.slo_ms:
+                self._window_breaches += int(n)
+        if t + dt - self._window_started < c.window:
+            return
+        ops = self._window_ops
+        breaches = self._window_breaches
+        self._window_ops = 0
+        self._window_breaches = 0
+        self._window_started = t + dt
+        if t - self._last_action < c.cooldown:
+            return
+        n_nodes = len(balancer.nodes)
+        if ops > 0 and breaches / ops > c.breach_fraction:
+            if n_nodes < c.max_nodes:
+                self._scale_out(t, balancer,
+                                reason=f"breach {breaches}/{ops}")
+            return
+        rate = float(traffic.envelope(t))
+        utilization = rate / (n_nodes * c.node_capacity_ops)
+        if (n_nodes > c.min_nodes
+                and bool(traffic.is_valley(t))
+                and utilization < c.scale_in_utilization):
+            self._scale_in(t, balancer,
+                           reason=f"valley util {utilization:.2f}")
+
+    # -- actions ---------------------------------------------------------
+
+    def _scale_out(self, t: float, balancer: FleetBalancer,
+                   reason: str) -> None:
+        node = FleetNode(self._next_node_id, self.cal, self.model,
+                         self.seed, joined_at=t + self.config.warmup)
+        self._next_node_id += 1
+        balancer.nodes.append(node)
+        self._record(t, "out", len(balancer.nodes), reason)
+
+    def _scale_in(self, t: float, balancer: FleetBalancer,
+                  reason: str) -> None:
+        # Newest node leaves; never one that is mid-pause (it still has
+        # queued work to answer for).
+        for node in reversed(balancer.nodes):
+            if node.backlog(t) == 0 and node.joined_at <= t:
+                balancer.nodes.remove(node)
+                self.retired.append(node)
+                self._record(t, "in", len(balancer.nodes), reason)
+                return
+
+    def _record(self, t: float, action: str, n_nodes: int,
+                reason: str) -> None:
+        self._last_action = t
+        self.events.append(ScaleEvent(t=t, action=action,
+                                      n_nodes=n_nodes, reason=reason))
+        self.tracer.fleet_scale(t, action, n_nodes, reason)
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def scale_out_count(self) -> int:
+        """Number of scale-out actions taken."""
+        return sum(1 for e in self.events if e.action == "out")
+
+    def first_scale_out(self) -> Optional[float]:
+        """Time of the first scale-out (None if never) — the Monk
+        deliverable's "how long did we delay buying a node" number."""
+        for e in self.events:
+            if e.action == "out":
+                return e.t
+        return None

@@ -1,0 +1,173 @@
+"""Load-balancing policies: from GC-blind to Monk.
+
+A policy does two things each tick:
+
+* :meth:`~Policy.weights` — how the tick's arrivals are split across
+  ready nodes (the *routing* decision);
+* :meth:`~Policy.maintain` — optional fleet maintenance (the *Monk*
+  hook: forcing collections in traffic valleys so the old generation
+  never fills during a peak, which is what delays horizontal scaling).
+
+The four policies the study compares:
+
+==================  ====================================================
+``round-robin``     GC-blind equal split; the baseline every Fig. 5
+                    latency spike comes from.
+``least-outstanding``  classic queue-aware routing: weight falls with
+                    the node's backlog, so an *ongoing* pause sheds
+                    load — but only after it has already hurt.
+``pause-predictive``  routes away *before* the pause: nodes whose eden
+                    headroom projects a stop-the-world within the
+                    horizon are starved down to a trickle until they
+                    collect (the trickle guarantees the pause still
+                    happens promptly, off-peak of that node's share).
+``monk``            least-outstanding routing plus opportunistic forced
+                    full collections in diurnal valleys (staggered, one
+                    node per cooldown), per PAPERS.md's Monk.
+==================  ====================================================
+
+Policies are deterministic: weights derive only from node state, the
+traffic model and simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+import numpy as np
+
+from ..errors import ConfigError
+from .node import FleetNode
+from .traffic import DiurnalTraffic
+
+
+class Policy:
+    """Base policy: equal weights, no maintenance."""
+
+    #: Registry name (CLI axis value and study JSON key).
+    name = "policy"
+    #: True when the policy reads GC state (reported in the study).
+    gc_aware = False
+
+    def weights(self, t: float, nodes: Sequence[FleetNode],
+                per_node_rate: float) -> np.ndarray:
+        """Relative routing weights for *nodes* (need not normalize)."""
+        return np.ones(len(nodes), dtype=float)
+
+    def maintain(self, t: float, nodes: Sequence[FleetNode],
+                 traffic: DiurnalTraffic) -> List[FleetNode]:
+        """Fleet maintenance hook; returns nodes it forced a GC on."""
+        return []
+
+
+class RoundRobinPolicy(Policy):
+    """GC-blind equal split (the integer remainder rotates)."""
+
+    name = "round-robin"
+
+
+class LeastOutstandingPolicy(Policy):
+    """Weight inversely proportional to queued work."""
+
+    name = "least-outstanding"
+    gc_aware = False
+
+    def weights(self, t, nodes, per_node_rate):
+        backlog = np.array([n.backlog(t) for n in nodes], dtype=float)
+        return 1.0 / (1.0 + 10.0 * backlog)
+
+
+class PausePredictivePolicy(Policy):
+    """Route away from nodes whose collector state predicts a pause.
+
+    ``horizon`` is how far ahead (seconds) a projected young pause makes
+    a node undesirable; ``trickle`` is the residual weight an imminent
+    node keeps so its eden still fills and the pause is taken soon,
+    while the node carries almost no traffic.
+    """
+
+    name = "pause-predictive"
+    gc_aware = True
+
+    def __init__(self, horizon: float = 3.0, trickle: float = 0.05):
+        if horizon <= 0 or not 0 < trickle < 1:
+            raise ConfigError("horizon must be > 0 and trickle in (0, 1)")
+        self.horizon = float(horizon)
+        self.trickle = float(trickle)
+
+    def weights(self, t, nodes, per_node_rate):
+        w = np.empty(len(nodes), dtype=float)
+        for i, node in enumerate(nodes):
+            if node.backlog(t) > 0:
+                w[i] = 0.0          # mid-pause: nothing routed in
+            elif (node.predicted_time_to_pause(t, per_node_rate)
+                  < self.horizon):
+                w[i] = self.trickle
+            else:
+                w[i] = 1.0
+        if not w.any():
+            return np.ones(len(nodes), dtype=float)
+        return w
+
+
+class MonkPolicy(LeastOutstandingPolicy):
+    """Least-outstanding routing + forced collections in valleys.
+
+    During a diurnal valley, at most one node per ``cooldown`` window
+    whose old-generation occupancy exceeds ``old_trigger`` is forced
+    through a full collection. Staggering keeps most of the (small)
+    valley traffic routable around the deliberate pause; by the next
+    peak the fleet's old generations sit at their post-collection
+    residual, so the threshold-triggered full pauses that drive the
+    GC-blind autoscaler's scale-outs never fire.
+    """
+
+    name = "monk"
+    gc_aware = True
+
+    def __init__(self, old_trigger: float = 0.45, cooldown: float = 120.0):
+        if not 0 < old_trigger < 1 or cooldown <= 0:
+            raise ConfigError("old_trigger in (0, 1) and cooldown > 0 required")
+        self.old_trigger = float(old_trigger)
+        self.cooldown = float(cooldown)
+        self._last_forced = float("-inf")
+
+    def maintain(self, t, nodes, traffic):
+        if t - self._last_forced < self.cooldown:
+            return []
+        if not bool(traffic.is_valley(t)):
+            return []
+        # Deterministic victim choice: the dirtiest eligible node.
+        victim = None
+        for node in nodes:
+            if node.backlog(t) > 0:
+                continue
+            if node.old_fraction() < self.old_trigger:
+                continue
+            if victim is None or node.old_used > victim.old_used:
+                victim = node
+        if victim is None:
+            return []
+        victim.force_gc(t)
+        self._last_forced = t
+        return [victim]
+
+
+_POLICIES: Dict[str, Type[Policy]] = {
+    cls.name: cls
+    for cls in (RoundRobinPolicy, LeastOutstandingPolicy,
+                PausePredictivePolicy, MonkPolicy)
+}
+
+#: Study-order policy names.
+POLICY_NAMES = list(_POLICIES)
+
+
+def make_policy(name: str) -> Policy:
+    """Instantiate a policy by registry name (fresh state each call)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; choose from {', '.join(_POLICIES)}"
+        ) from None

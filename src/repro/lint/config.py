@@ -7,6 +7,7 @@ CLI habit::
     paths = ["src", "benchmarks", "examples", "tests"]
     exclude = ["tests/lint_fixtures", "tests/fixtures"]
     wp_paths = ["src"]
+    wp_core = ["sim", "gc", "jvm", "fleet"]
 
     [tool.simlint.profiles]
     tests = ["SL001", "SL002"]
@@ -17,6 +18,8 @@ CLI habit::
 * ``wp_paths`` — the file set the whole-program SL1xx pass builds its
   call graph from (the deterministic core + service layers; test code
   does not belong in the production call graph);
+* ``wp_core`` — package names forming the deterministic core for the
+  SL102 taint rule (empty list keeps the rule's built-in default);
 * ``profiles`` — per-directory rule subsets: ``tests`` runs only the
   determinism-critical SL001/SL002 (fixed seeds and no entropy matter in
   tests too; pause-accounting or flag-literal rules do not).
@@ -107,6 +110,8 @@ class LintConfig:
     paths: List[str] = field(default_factory=list)
     exclude: List[str] = field(default_factory=list)
     wp_paths: List[str] = field(default_factory=list)
+    #: deterministic-core package names for SL102 ([] = rule default).
+    wp_core: List[str] = field(default_factory=list)
     #: directory prefix → allowed rule ids.
     profiles: Dict[str, List[str]] = field(default_factory=dict)
 
@@ -139,6 +144,7 @@ class LintConfig:
             paths=[str(x) for x in table.get("paths", [])],
             exclude=[str(x) for x in table.get("exclude", [])],
             wp_paths=[str(x) for x in table.get("wp_paths", [])],
+            wp_core=[str(x) for x in table.get("wp_core", [])],
             profiles={k: [str(r).upper() for r in v]
                       for k, v in table.get("profiles", {}).items()
                       if isinstance(v, (list, tuple))},

@@ -417,6 +417,12 @@ def run_lint(
 
     # -- whole-program pass ----------------------------------------------
     if project_rules:
+        if config is not None and config.wp_core:
+            # The deterministic-core boundary is a committed decision
+            # ([tool.simlint] wp_core), not a rule-class constant.
+            for rule in project_rules:
+                if rule.rule_id == "SL102":
+                    rule.scope = tuple(config.wp_core)
         wp_contexts = {
             p: c for p, c in contexts.items()
             if config is None or config.in_wp_scope(p)}

@@ -132,7 +132,8 @@ class CoreTaintRule(ProjectRule):
     rule_id = "SL102"
     title = "wall-clock/entropy flows transitively into the deterministic core"
 
-    scope = ("sim", "gc", "jvm")
+    #: Deterministic-core packages; ``[tool.simlint] wp_core`` overrides.
+    scope = ("sim", "gc", "jvm", "fleet")
 
     def check_project(self, project: ProjectContext,
                       files: Dict[str, FileContext]) -> Iterator[Finding]:

@@ -35,6 +35,12 @@ HEAP_RESIZE = "heap_resize"
 TENURING_ADAPT = "tenuring_adapt"
 #: Engine run completed (final clock + events processed).
 ENGINE_RUN = "engine_run"
+#: Fleet balancer routed a tick (policy, fleet size, busiest node).
+FLEET_ROUTE = "fleet_route"
+#: Fleet autoscaler acted (scale out/in, fleet size, reason).
+FLEET_SCALE = "fleet_scale"
+#: Monk-style opportunistic forced collection on a fleet node.
+FLEET_FORCED_GC = "fleet_forced_gc"
 #: Free-form marker (concurrent mode failure, workload milestones...).
 ANNOTATION = "annotation"
 

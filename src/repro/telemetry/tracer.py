@@ -26,8 +26,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from .events import (ALLOC_SLOW, ANNOTATION, CONCURRENT_PHASE, ENGINE_RUN,
-                     GC_PHASE, HEAP_RESIZE, PROMOTION, SAFEPOINT_BEGIN,
-                     SAFEPOINT_END, TENURING_ADAPT, TLAB_REFILL, TraceEvent)
+                     FLEET_FORCED_GC, FLEET_ROUTE, FLEET_SCALE, GC_PHASE,
+                     HEAP_RESIZE, PROMOTION, SAFEPOINT_BEGIN, SAFEPOINT_END,
+                     TENURING_ADAPT, TLAB_REFILL, TraceEvent)
 from .hist import LogHistogram
 from .ring import DEFAULT_CAPACITY, EventRing
 
@@ -66,6 +67,15 @@ class NullTracer:
         pass
 
     def engine_run(self, t, events):
+        pass
+
+    def fleet_route(self, t, policy, n_nodes, busiest, ops):
+        pass
+
+    def fleet_scale(self, t, action, n_nodes, reason):
+        pass
+
+    def fleet_forced_gc(self, t, node, pause, old_fraction):
         pass
 
     def annotate(self, t, label, **args):
@@ -136,6 +146,22 @@ class Tracer(NullTracer):
 
     def engine_run(self, t, events):
         self._emit(t, ENGINE_RUN, 0.0, {"events": events})
+
+    def fleet_route(self, t, policy, n_nodes, busiest, ops):
+        self._emit(t, FLEET_ROUTE, 0.0, {
+            "policy": policy, "n_nodes": n_nodes,
+            "busiest": busiest, "ops": ops,
+        })
+
+    def fleet_scale(self, t, action, n_nodes, reason):
+        self._emit(t, FLEET_SCALE, 0.0, {
+            "action": action, "n_nodes": n_nodes, "reason": reason,
+        })
+
+    def fleet_forced_gc(self, t, node, pause, old_fraction):
+        self._emit(t, FLEET_FORCED_GC, pause, {
+            "node": node, "old_fraction": old_fraction,
+        })
 
     def annotate(self, t, label, **args):
         payload = {"label": label}

@@ -209,3 +209,45 @@ class TestConfig:
         table = data["tool"]["simlint"]
         assert table["paths"] == ["src", "tests"]
         assert table["profiles"]["tests"] == ["SL001", "SL002"]
+
+    def test_wp_core_parsed_from_pyproject(self, tmp_path):
+        from repro.lint.config import LintConfig
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.simlint]\n"
+            'paths = ["src"]\n'
+            'wp_core = ["sim", "fleet"]\n'
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert config.wp_core == ["sim", "fleet"]
+        # Absent key => empty list => the rule keeps its default scope.
+        pyproject.write_text("[tool.simlint]\npaths = [\"src\"]\n")
+        assert LintConfig.from_pyproject(pyproject).wp_core == []
+
+    def test_wp_core_overrides_sl102_scope(self, tmp_path, monkeypatch):
+        # A time.time() leak reaches a function in package `other`;
+        # SL102 flags it only when `other` is in the configured core.
+        pkg = tmp_path / "pkg" / "other"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(
+            "import time\n\n\n"
+            "def helper():\n"
+            "    return time.time()  # simlint: disable=SL001 -- test leak\n\n\n"
+            "def core_step():\n"
+            "    return helper()\n"
+        )
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.simlint]\n"
+            'paths = ["pkg"]\n'
+            'wp_core = ["other"]\n'
+        )
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--no-baseline", "--wp"]) == 1
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.simlint]\n"
+            'paths = ["pkg"]\n'
+            'wp_core = ["unrelated"]\n'
+        )
+        assert lint_main(["--no-baseline", "--wp"]) == 0

@@ -200,6 +200,23 @@ class LatencySummary:
             out.hist.merge(s.hist)
         return out
 
+    @classmethod
+    def merged_from_dicts(cls, hist_dicts) -> "LatencySummary":
+        """Exact-merge serialized histograms (``LogHistogram.to_dict``
+        payloads, e.g. the per-node ``pauses.hist`` sections a cluster
+        status scatter-gather collects). Geometry is adopted from the
+        first histogram, so second-scale pause histograms merge as
+        faithfully as millisecond latencies; an empty input yields an
+        empty summary."""
+        out: Optional[LatencySummary] = None
+        for d in hist_dicts:
+            h = LogHistogram.from_dict(d)
+            if out is None:
+                out = cls(hist=LogHistogram(
+                    unit=h.unit, significant_digits=h.significant_digits))
+            out.hist.merge(h)
+        return out if out is not None else cls()
+
     # -- queries ---------------------------------------------------------
 
     @property
@@ -248,6 +265,18 @@ class LatencySummary:
         ]
         for q in _LATENCY_QS:
             out.append((f"P{q:g}(ms)", round(self.percentile(q), 3)))
+        return out
+
+    def summary_dict(self) -> Dict[str, object]:
+        """The service-status summary shape — ``{"count"}`` plus
+        ``p50/p99/p99.9`` and ``max`` when non-empty — so an aggregated
+        (merged) summary renders exactly like a single node's
+        ``pauses`` section. Values are in the histogram's own value
+        units (seconds for pause histograms, ms for latency ones)."""
+        out: Dict[str, object] = {"count": self.count}
+        if self.count:
+            out.update(self.hist.percentiles(_LATENCY_QS))
+            out["max"] = self.hist.max_raw or 0.0
         return out
 
     def to_dict(self) -> Dict[str, object]:

@@ -40,10 +40,12 @@ from .executors import (
 from .progress import ProgressReporter
 from .runner import CampaignResult, CampaignStats, run_campaign
 from .spec import CampaignSpec
-from .store import ResultStore, store_status
+from .store import MergeStats, ResultStore, merge_stores, store_status
 
 __all__ = [
     "store_status",
+    "MergeStats",
+    "merge_stores",
     "CampaignResult",
     "CampaignSpec",
     "CampaignStats",

@@ -22,7 +22,8 @@ import contextlib
 import json
 import os
 import pathlib
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 try:                            # POSIX only; the store degrades to
     import fcntl                # lock-free appends elsewhere.
@@ -317,6 +318,78 @@ class ResultStore:
             writer = csv.writer(fh)
             writer.writerow(GRID_CSV_COLUMNS)
             writer.writerows(self.to_rows())
+
+
+@dataclass
+class MergeStats:
+    """Bookkeeping for one :func:`merge_stores` call."""
+
+    sources: int = 0            #: shard stores read
+    records: int = 0            #: records in the merged store
+    ok: int = 0                 #: completed cells after the merge
+    failed: int = 0             #: quarantined cells after the merge
+    superseded: int = 0         #: failure records replaced by an ok twin
+    duplicates: int = 0         #: identical records seen on >1 shard
+    quarantined_lines: int = 0  #: corrupt lines dropped across all shards
+
+    def summary(self) -> str:
+        """One-line, grep-stable summary (CI asserts on this format)."""
+        return (f"merged {self.sources} stores: {self.records} records "
+                f"({self.ok} ok, {self.failed} failed), "
+                f"{self.duplicates} duplicates, "
+                f"{self.superseded} failures superseded, "
+                f"{self.quarantined_lines} corrupt lines dropped")
+
+
+def merge_stores(sources: Sequence[Union[ResultStore, str]],
+                 dest: Union[ResultStore, str]) -> MergeStats:
+    """Merge shard stores into *dest* — the scatter-gather inverse.
+
+    Built on the same merge-based compaction that makes concurrent
+    writers safe: every source's records are folded into *dest*'s
+    in-memory view, then a single :meth:`ResultStore.compact` writes the
+    canonical file (sorted by digest, one canonical-JSON line each).
+    Because records are content-addressed and cell execution is
+    deterministic, a store merged from N shards is **byte-identical** to
+    the compacted store of a serial run over the same cells — the
+    property the CI ``cluster-smoke`` job pins with ``cmp``.
+
+    Conflict policy (deterministic in source order): the first record
+    for a digest wins, except that an ``ok`` record always supersedes a
+    ``failed`` one — a cell that crashed on one shard but completed on
+    another (a re-routed straggler) counts as completed. Manifests merge
+    through :meth:`ResultStore.register_campaign`, which is idempotent
+    per campaign digest.
+    """
+    if not isinstance(dest, ResultStore):
+        dest = ResultStore(dest)
+    stats = MergeStats()
+    for root in sources:
+        src = root if isinstance(root, ResultStore) else ResultStore(root)
+        stats.sources += 1
+        stats.quarantined_lines += src.quarantined_lines
+        for digest, rec in src._records.items():
+            have = dest._records.get(digest)
+            if have is None:
+                dest._records[digest] = rec
+                continue
+            if have == rec:
+                stats.duplicates += 1
+                continue
+            if have["status"] != "ok" and rec["status"] == "ok":
+                dest._records[digest] = rec
+                stats.superseded += 1
+            elif have["status"] == "ok" and rec["status"] != "ok":
+                stats.superseded += 1      # kept the ok twin
+            else:
+                stats.duplicates += 1      # first record wins
+        for entry in src.read_manifest().get("campaigns", []):
+            dest.register_campaign(entry)
+    dest.compact()
+    stats.records = len(dest)
+    stats.ok = len(dest.ok_digests())
+    stats.failed = len(dest.failed_digests())
+    return stats
 
 
 def store_status(store: ResultStore) -> Dict[str, object]:

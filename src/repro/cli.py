@@ -9,7 +9,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-report``    — parse a GC log file (HotSpot-style text, as
   emitted by ``--gc-log``) and print pause statistics;
 * ``repro-specjbb``   — run the SPECjbb-style warehouse ramp;
-* ``repro-cluster``   — run the multi-node failure-detector study;
+* ``repro-cluster``   — the multi-node experiment fabric (coordinator,
+  submit, status, merge; the failure-detector study is its ``failures``
+  subcommand — see :mod:`repro.cluster`);
 * ``repro-lint``      — static determinism/invariant analysis over the
   source tree (see :mod:`repro.lint`);
 * ``repro-campaign``  — parallel, cached, resumable experiment-grid
@@ -238,42 +240,13 @@ def specjbb_main(argv: Optional[List[str]] = None) -> int:
 
 
 def cluster_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``repro-cluster``: failure-detector study."""
-    from .cassandra.cluster import ClusterConfig, run_cluster_study
-    from .units import MB
+    """Entry point for ``repro-cluster``: the multi-node experiment
+    fabric (coordinator, campaign submit, scatter-gather status, store
+    merge); the original failure-detector study lives on as the
+    ``failures`` subcommand."""
+    from .cluster.cli import main
 
-    parser = argparse.ArgumentParser(
-        prog="repro-cluster",
-        description="GC pauses vs. the cluster failure detector.",
-    )
-    parser.add_argument("-n", "--nodes", type=int, default=3)
-    parser.add_argument("--duration", type=float, default=3600.0)
-    parser.add_argument("--ops", type=float, default=1350.0)
-    parser.add_argument("--phi-timeout", type=float, default=3.0,
-                        help="failure-detector conviction timeout (s)")
-    _jvm_args(parser)
-    parser.set_defaults(heap="64g", young="12g")
-    args = parser.parse_args(argv)
-
-    cluster = ClusterConfig(n_nodes=args.nodes, failure_timeout=args.phi_timeout)
-    result = run_cluster_study(
-        args.gc, cluster=cluster, duration=args.duration,
-        ops_per_second=args.ops, seed=args.seed,
-        jvm_template=_build_config(args),
-    )
-    print(render_table(
-        ["metric", "value"],
-        [
-            ("collector", result.gc),
-            ("nodes", args.nodes),
-            ("DOWN convictions", len(result.down_events)),
-            ("node-down seconds", round(result.total_unavailable_seconds, 1)),
-            ("availability", f"{100 * result.availability(args.duration):.3f}%"),
-            ("hinted handoff (MB)", round(result.hinted_handoff_bytes / MB, 1)),
-        ],
-        title="Cluster failure-detector study",
-    ))
-    return 0
+    return main(argv)
 
 
 def lint_main(argv: Optional[List[str]] = None) -> int:

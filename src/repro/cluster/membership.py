@@ -1,0 +1,119 @@
+"""Cluster membership: worker addresses, liveness, and the ring.
+
+A :class:`NodeSpec` is one worker's address — ``unix:/path/to.sock`` (or
+a bare absolute path) for local fabrics, ``host:port`` for TCP — and its
+string form doubles as the node id everywhere (ring tokens, status
+sections, steal victims), so two coordinators given the same node list
+agree on placement byte-for-byte.
+
+:class:`Membership` owns the :class:`~repro.cluster.ring.HashRing`:
+``join``/``leave`` are the deliberate membership operations (protocol
+``join``/``leave`` ops land here), ``mark_dead`` is the failure path —
+the node leaves the ring so new placements avoid it, but stays listed as
+dead for the status endpoint until it rejoins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from .ring import DEFAULT_REPLICAS, HashRing
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One worker node's address (the id is the canonical string)."""
+
+    node_id: str
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    @classmethod
+    def parse(cls, address: str) -> "NodeSpec":
+        """Parse ``unix:/path``, a bare ``/path``, or ``host:port``."""
+        address = str(address).strip()
+        if not address:
+            raise ConfigError("node address must be non-empty")
+        if address.startswith("unix:"):
+            path = address[len("unix:"):]
+            if not path:
+                raise ConfigError(f"empty socket path in {address!r}")
+            return cls(node_id=f"unix:{path}", socket_path=path)
+        if address.startswith("/"):
+            return cls(node_id=f"unix:{address}", socket_path=address)
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise ConfigError(
+                f"node address {address!r} is neither unix:/path nor host:port")
+        try:
+            port_n = int(port)
+        except ValueError:
+            raise ConfigError(f"bad port in node address {address!r}") from None
+        if not 0 < port_n < 65536:
+            raise ConfigError(f"port out of range in node address {address!r}")
+        return cls(node_id=f"{host}:{port_n}", host=host, port=port_n)
+
+
+class Membership:
+    """Live/dead node bookkeeping plus the placement ring."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        self._ring = HashRing(replicas)
+        self._nodes: Dict[str, NodeSpec] = {}
+        self._dead: Dict[str, NodeSpec] = {}
+
+    # -- membership operations -------------------------------------------
+
+    def join(self, spec: NodeSpec) -> None:
+        """Add (or revive) a node; idempotent for a live member."""
+        self._dead.pop(spec.node_id, None)
+        self._nodes[spec.node_id] = spec
+        self._ring.add(spec.node_id)
+
+    def leave(self, node_id: str) -> bool:
+        """Remove a node entirely (deliberate departure). True if it was
+        a member (live or dead)."""
+        known = (self._nodes.pop(node_id, None) is not None
+                 or self._dead.pop(node_id, None) is not None)
+        self._ring.remove(node_id)
+        return known
+
+    def mark_dead(self, node_id: str) -> bool:
+        """Failure path: drop the node from placement but remember it as
+        dead (status visibility; a later ``join`` revives it)."""
+        spec = self._nodes.pop(node_id, None)
+        if spec is None:
+            return False
+        self._dead[node_id] = spec
+        self._ring.remove(node_id)
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, node_id: str) -> Optional[NodeSpec]:
+        """Spec of a live node (None when unknown or dead)."""
+        return self._nodes.get(node_id)
+
+    def live_ids(self) -> List[str]:
+        """Sorted live node ids."""
+        return sorted(self._nodes)
+
+    def dead_ids(self) -> List[str]:
+        """Sorted ids of nodes dropped by :meth:`mark_dead`."""
+        return sorted(self._dead)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def assign(self, digest: str) -> Optional[NodeSpec]:
+        """The digest's owner under current live membership."""
+        node_id = self._ring.lookup(digest)
+        return self._nodes.get(node_id) if node_id is not None else None
+
+    def preference(self, digest: str) -> List[NodeSpec]:
+        """Failover order for *digest* (owner first)."""
+        return [self._nodes[nid] for nid in self._ring.preference(digest)
+                if nid in self._nodes]

@@ -1,0 +1,118 @@
+"""Consistent-hash ring: deterministic digest → node placement.
+
+The coordinator places every job by its :meth:`CellSpec.digest` — a
+sha256 over the canonical cell JSON — so placement is a pure function of
+*job content* and *live membership*, never of arrival order, wall clock
+or process identity. The ring gives that function the two properties the
+fabric needs:
+
+* **registration-order independence** — positions derive only from node
+  ids (``sha256(f"{node_id}#{i}")`` for *replicas* virtual nodes), so
+  any permutation of ``add`` calls builds the identical ring;
+* **minimal disruption** — removing a node moves only the digests that
+  node owned (they fall to the next position clockwise); every other
+  digest keeps its owner. Both properties are pinned by hypothesis tests
+  in ``tests/test_cluster_ring.py``.
+
+Virtual nodes smooth the per-node share: with 64 replicas the expected
+imbalance across a handful of workers is a few percent, good enough for
+shards that the work-stealing loop rebalances dynamically anyway.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Virtual nodes per physical node (power-of-two for no deep reason;
+#: what matters is that it is fixed — changing it re-shards everything).
+DEFAULT_REPLICAS = 64
+
+
+def _position(node_id: str, replica: int) -> int:
+    """Ring position of one virtual node (full 256-bit space)."""
+    token = f"{node_id}#{replica}".encode()
+    return int.from_bytes(hashlib.sha256(token).digest(), "big")
+
+
+def digest_point(digest: str) -> int:
+    """Ring point of a job digest (hashed again so the ring walk is
+    uniform even if callers pass truncated or non-hex digests)."""
+    return int.from_bytes(hashlib.sha256(digest.encode()).digest(), "big")
+
+
+class HashRing:
+    """Sorted ring of ``(position, node_id)`` virtual nodes."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ConfigError("ring replicas must be >= 1")
+        self.replicas = replicas
+        #: node_id → its virtual-node positions (kept for O(r log n) removal).
+        self._nodes: Dict[str, List[int]] = {}
+        #: sorted (position, node_id); ties (astronomically unlikely)
+        #: break by node_id so even a collision is deterministic.
+        self._ring: List[Tuple[int, str]] = []
+
+    # -- membership ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> List[str]:
+        """Member ids, sorted (presentation order, not ring order)."""
+        return sorted(self._nodes)
+
+    def add(self, node_id: str) -> None:
+        """Insert *node_id*'s virtual nodes (idempotent)."""
+        if node_id in self._nodes:
+            return
+        positions = [_position(node_id, i) for i in range(self.replicas)]
+        self._nodes[node_id] = positions
+        for pos in positions:
+            bisect.insort(self._ring, (pos, node_id))
+
+    def remove(self, node_id: str) -> None:
+        """Remove *node_id*; its digests fall to their next-clockwise
+        owners and nothing else moves (idempotent)."""
+        positions = self._nodes.pop(node_id, None)
+        if positions is None:
+            return
+        for pos in positions:
+            idx = bisect.bisect_left(self._ring, (pos, node_id))
+            if idx < len(self._ring) and self._ring[idx] == (pos, node_id):
+                del self._ring[idx]
+
+    # -- placement -------------------------------------------------------
+
+    def lookup(self, digest: str) -> Optional[str]:
+        """Owner of *digest*: the first virtual node at-or-after its
+        point, wrapping at the top of the space. None on an empty ring."""
+        if not self._ring:
+            return None
+        idx = bisect.bisect_left(self._ring, (digest_point(digest), ""))
+        if idx == len(self._ring):
+            idx = 0
+        return self._ring[idx][1]
+
+    def preference(self, digest: str) -> List[str]:
+        """All member ids in clockwise (failover) order from *digest*'s
+        point — the re-route order when owners die mid-campaign."""
+        if not self._ring:
+            return []
+        start = bisect.bisect_left(self._ring, (digest_point(digest), ""))
+        seen: List[str] = []
+        for i in range(len(self._ring)):
+            node_id = self._ring[(start + i) % len(self._ring)][1]
+            if node_id not in seen:
+                seen.append(node_id)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen

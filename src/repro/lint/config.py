@@ -8,6 +8,7 @@ CLI habit::
     exclude = ["tests/lint_fixtures", "tests/fixtures"]
     wp_paths = ["src"]
     wp_core = ["sim", "gc", "jvm", "fleet"]
+    wp_async = ["serve", "cluster"]
 
     [tool.simlint.profiles]
     tests = ["SL001", "SL002"]
@@ -20,6 +21,9 @@ CLI habit::
   does not belong in the production call graph);
 * ``wp_core`` — package names forming the deterministic core for the
   SL102 taint rule (empty list keeps the rule's built-in default);
+* ``wp_async`` — package names whose ``async def`` functions own an
+  event loop, scoping the SL101 blocking-call and SL104 fire-and-forget
+  rules (empty list keeps the rules' built-in ``serve`` default);
 * ``profiles`` — per-directory rule subsets: ``tests`` runs only the
   determinism-critical SL001/SL002 (fixed seeds and no entropy matter in
   tests too; pause-accounting or flag-literal rules do not).
@@ -112,6 +116,8 @@ class LintConfig:
     wp_paths: List[str] = field(default_factory=list)
     #: deterministic-core package names for SL102 ([] = rule default).
     wp_core: List[str] = field(default_factory=list)
+    #: event-loop-owning package names for SL101/SL104 ([] = default).
+    wp_async: List[str] = field(default_factory=list)
     #: directory prefix → allowed rule ids.
     profiles: Dict[str, List[str]] = field(default_factory=dict)
 
@@ -145,6 +151,7 @@ class LintConfig:
             exclude=[str(x) for x in table.get("exclude", [])],
             wp_paths=[str(x) for x in table.get("wp_paths", [])],
             wp_core=[str(x) for x in table.get("wp_core", [])],
+            wp_async=[str(x) for x in table.get("wp_async", [])],
             profiles={k: [str(r).upper() for r in v]
                       for k, v in table.get("profiles", {}).items()
                       if isinstance(v, (list, tuple))},

@@ -417,12 +417,14 @@ def run_lint(
 
     # -- whole-program pass ----------------------------------------------
     if project_rules:
-        if config is not None and config.wp_core:
-            # The deterministic-core boundary is a committed decision
-            # ([tool.simlint] wp_core), not a rule-class constant.
+        if config is not None:
+            # Scope boundaries are committed decisions ([tool.simlint]
+            # wp_core / wp_async), not rule-class constants.
             for rule in project_rules:
-                if rule.rule_id == "SL102":
+                if rule.rule_id == "SL102" and config.wp_core:
                     rule.scope = tuple(config.wp_core)
+                elif rule.rule_id in ("SL101", "SL104") and config.wp_async:
+                    rule.scope = tuple(config.wp_async)
         wp_contexts = {
             p: c for p, c in contexts.items()
             if config is None or config.in_wp_scope(p)}

@@ -17,7 +17,7 @@ from . import protocol
 
 #: Response types that end a request/response exchange.
 _TERMINAL = {"result", "failed", "rejected", "error", "stats", "pong",
-             "subscribed", "drained"}
+             "subscribed", "drained", "cancelled", "joined", "left"}
 
 
 class ServiceClient:
@@ -147,6 +147,21 @@ class ServiceClient:
     async def ping(self, *, timeout: Optional[float] = None) -> dict:
         """Liveness probe; returns the ``pong`` message."""
         return await self._simple("ping", expect="pong", timeout=timeout)
+
+    async def cancel(self, digest: str, *,
+                     timeout: Optional[float] = None) -> dict:
+        """Withdraw a queued job by digest (the steal primitive).
+
+        Returns the ``cancelled`` message; its ``outcome`` field is the
+        at-most-once verdict (``cancelled``/``busy``/``unknown``).
+        """
+        rid = next(self._ids)
+        queue = await self._request(
+            {"op": "cancel", "id": rid, "digest": digest}, rid)
+        try:
+            return await self._next(queue, timeout)
+        finally:
+            self._pending.pop(rid, None)
 
     async def status(self, *, timeout: Optional[float] = None) -> dict:
         """Fetch the service stats snapshot (the ``stats`` field)."""

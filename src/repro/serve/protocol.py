@@ -43,8 +43,16 @@ PROTOCOL_VERSION = 1
 #: ~100 KiB; anything larger than this is a broken or hostile client.
 MAX_LINE_BYTES = 1 << 20
 
-#: Request operations the server accepts.
-OPS = ("drain", "ping", "status", "submit", "subscribe")
+#: Request operations the server accepts. ``cancel`` exists for the
+#: cluster coordinator's work stealing: it removes a queued-but-unstarted
+#: job by digest, so a straggler shard can hand the cell to a faster node
+#: with at-most-once execution (a started job answers ``busy`` instead).
+OPS = ("cancel", "drain", "ping", "status", "submit", "subscribe")
+
+#: The coordinator's superset: node membership changes ride on the same
+#: wire format (``repro.cluster`` dispatches these; a plain worker node
+#: rejects them as unknown ops).
+COORDINATOR_OPS = OPS + ("join", "leave")
 
 #: Job fields accepted by ``submit`` (anything else is a protocol error,
 #: so typos fail loudly instead of simulating the wrong cell).
@@ -78,13 +86,27 @@ def decode(line: bytes, *, max_bytes: int = MAX_LINE_BYTES) -> Dict[str, object]
     return msg
 
 
-def parse_request(msg: Dict[str, object]) -> Tuple[str, Optional[object]]:
-    """Validate a request message; returns ``(op, id)``."""
+def parse_request(msg: Dict[str, object],
+                  ops: Tuple[str, ...] = OPS) -> Tuple[str, Optional[object]]:
+    """Validate a request message; returns ``(op, id)``.
+
+    *ops* is the accepted operation set — workers pass the default
+    :data:`OPS`, the cluster coordinator :data:`COORDINATOR_OPS`.
+    """
     op = msg.get("op")
-    if op not in OPS:
+    if op not in ops:
         raise ProtocolError(
-            f"unknown op {op!r}; expected one of {', '.join(OPS)}", code=400)
+            f"unknown op {op!r}; expected one of {', '.join(ops)}", code=400)
     return op, msg.get("id")
+
+
+def parse_cancel(msg: Dict[str, object]) -> str:
+    """Validate a ``cancel`` request; returns the target digest."""
+    digest = msg.get("digest")
+    if not isinstance(digest, str) or not digest:
+        raise ProtocolError("cancel requires a non-empty 'digest' field",
+                            code=400)
+    return digest
 
 
 def job_to_cell(job: object) -> CellSpec:
@@ -170,6 +192,25 @@ def error_msg(rid, code: int, reason: str) -> Dict[str, object]:
 def stats_msg(rid, stats: Dict[str, object]) -> Dict[str, object]:
     """Status-endpoint payload."""
     return _resp("stats", rid, stats=stats)
+
+
+def cancelled_msg(rid, digest: str, outcome: str) -> Dict[str, object]:
+    """Reply to a ``cancel``. *outcome* is the at-most-once verdict:
+    ``cancelled`` (the job was queued and has been removed — it never
+    ran and never will here), ``busy`` (already started or finished —
+    the caller must NOT re-route it) or ``unknown`` (no such digest)."""
+    return _resp("cancelled", rid, digest=digest, outcome=outcome)
+
+
+def joined_msg(rid, node_id: str, nodes: list) -> Dict[str, object]:
+    """Coordinator reply to a ``join``: the node is registered and in the
+    ring; ``nodes`` is the resulting live-node id list."""
+    return _resp("joined", rid, node_id=node_id, nodes=nodes)
+
+
+def left_msg(rid, node_id: str, nodes: list) -> Dict[str, object]:
+    """Coordinator reply to a ``leave`` (ring membership after removal)."""
+    return _resp("left", rid, node_id=node_id, nodes=nodes)
 
 
 def pong_msg(rid) -> Dict[str, object]:

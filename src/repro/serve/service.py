@@ -123,7 +123,8 @@ class _Connection:
 class _Job:
     """One admitted cell: its waiters and its service-side bookkeeping."""
 
-    __slots__ = ("cell", "digest", "attempts", "futures", "enqueued", "started")
+    __slots__ = ("cell", "digest", "attempts", "futures", "enqueued",
+                 "started", "cancelled")
 
     def __init__(self, cell: CellSpec, digest: str, enqueued: float):
         self.cell = cell
@@ -132,6 +133,7 @@ class _Job:
         self.futures: List[asyncio.Future] = []
         self.enqueued = enqueued
         self.started: Optional[float] = None
+        self.cancelled = False
 
 
 class ExperimentService:
@@ -282,6 +284,10 @@ class ExperimentService:
         if pauses.total_count:
             pause_summary.update(pauses.percentiles((50.0, 99.0, 99.9)))
             pause_summary["max"] = pauses.max_raw or 0.0
+        # Full histogram encoding rides along so an aggregator (the
+        # cluster coordinator's scatter-gather status) can exactly-merge
+        # per-node percentiles instead of averaging summaries.
+        pause_summary["hist"] = pauses.to_dict()
         return {
             "protocol": PROTOCOL_VERSION,
             "draining": self._draining,
@@ -380,6 +386,15 @@ class ExperimentService:
         elif op == "drain":
             await conn.send(protocol.draining_msg(rid))
             self._spawn(self._drain_and_report(conn, rid))
+        elif op == "cancel":
+            try:
+                digest = protocol.parse_cancel(msg)
+            except ProtocolError as exc:
+                self.metrics.counter("protocol.errors").inc()
+                await conn.send(protocol.error_msg(rid, exc.code, str(exc)))
+                return
+            await conn.send(protocol.cancelled_msg(
+                rid, digest, self._cancel(digest)))
         elif op == "submit":
             await self._handle_submit(conn, rid, msg.get("job"))
 
@@ -454,9 +469,37 @@ class ExperimentService:
         if kind == "result":
             await conn.send(protocol.result_msg(
                 rid, digest, payload, cached=False, meta=meta))
+        elif kind == "cancelled":
+            # Every waiter coalesced onto the digest learns the job was
+            # withdrawn (cluster steal): resubmitting is the caller's call.
+            await conn.send(protocol.cancelled_msg(rid, digest, "cancelled"))
         else:
             await conn.send(protocol.failed_msg(rid, digest, payload,
                                                 meta=meta))
+
+    # -- cancellation (the coordinator's steal primitive) -------------------
+
+    def _cancel(self, digest: str) -> str:
+        """Withdraw a queued-but-unstarted job; returns the at-most-once
+        verdict for :func:`protocol.cancelled_msg` (``cancelled`` only
+        when the job never started here and never will)."""
+        job = self._inflight.get(digest)
+        if job is None:
+            return "unknown"
+        if job.started is not None or job.cancelled:
+            # Started (possibly retried) or already withdrawn: the caller
+            # must not schedule it elsewhere.
+            return "busy"
+        job.cancelled = True           # the worker loop discards it
+        self._inflight.pop(digest, None)
+        self.metrics.counter("jobs.cancelled").inc()
+        self._publish("cancelled", digest=digest[:12],
+                      benchmark=job.cell.benchmark, gc=job.cell.gc)
+        for future in job.futures:
+            if not future.done():
+                future.set_result(("cancelled", digest, None, None))
+        self._check_idle()
+        return "cancelled"
 
     # -- execution ----------------------------------------------------------
 
@@ -471,6 +514,9 @@ class ExperimentService:
         while True:
             job = await self._queue.get()
             m.gauge("queue.depth").set(self._queue.qsize())
+            if job.cancelled:           # withdrawn while queued (steal)
+                self._check_idle()
+                continue
             job.started = self._clock()
             job.attempts += 1
             self._publish("started", digest=job.digest[:12],

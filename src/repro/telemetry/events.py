@@ -41,6 +41,12 @@ FLEET_ROUTE = "fleet_route"
 FLEET_SCALE = "fleet_scale"
 #: Monk-style opportunistic forced collection on a fleet node.
 FLEET_FORCED_GC = "fleet_forced_gc"
+#: Cluster coordinator routed a job digest to a worker node.
+CLUSTER_ROUTE = "cluster_route"
+#: Coordinator stole a queued-but-unstarted digest from a straggler.
+CLUSTER_STEAL = "cluster_steal"
+#: Shard result stores merged into one (scatter-gather epilogue).
+CLUSTER_MERGE = "cluster_merge"
 #: Free-form marker (concurrent mode failure, workload milestones...).
 ANNOTATION = "annotation"
 

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .events import (ALLOC_SLOW, ANNOTATION, CONCURRENT_PHASE, ENGINE_RUN,
+from .events import (ALLOC_SLOW, ANNOTATION, CLUSTER_MERGE, CLUSTER_ROUTE,
+                     CLUSTER_STEAL, CONCURRENT_PHASE, ENGINE_RUN,
                      FLEET_FORCED_GC, FLEET_ROUTE, FLEET_SCALE, GC_PHASE,
                      HEAP_RESIZE, PROMOTION, SAFEPOINT_BEGIN, SAFEPOINT_END,
                      TENURING_ADAPT, TLAB_REFILL, TraceEvent)
@@ -76,6 +77,15 @@ class NullTracer:
         pass
 
     def fleet_forced_gc(self, t, node, pause, old_fraction):
+        pass
+
+    def cluster_route(self, t, digest, node, reroute):
+        pass
+
+    def cluster_steal(self, t, digest, victim, thief):
+        pass
+
+    def cluster_merge(self, t, sources, records):
         pass
 
     def annotate(self, t, label, **args):
@@ -161,6 +171,21 @@ class Tracer(NullTracer):
     def fleet_forced_gc(self, t, node, pause, old_fraction):
         self._emit(t, FLEET_FORCED_GC, pause, {
             "node": node, "old_fraction": old_fraction,
+        })
+
+    def cluster_route(self, t, digest, node, reroute):
+        self._emit(t, CLUSTER_ROUTE, 0.0, {
+            "digest": digest, "node": node, "reroute": reroute,
+        })
+
+    def cluster_steal(self, t, digest, victim, thief):
+        self._emit(t, CLUSTER_STEAL, 0.0, {
+            "digest": digest, "victim": victim, "thief": thief,
+        })
+
+    def cluster_merge(self, t, sources, records):
+        self._emit(t, CLUSTER_MERGE, 0.0, {
+            "sources": sources, "records": records,
         })
 
     def annotate(self, t, label, **args):

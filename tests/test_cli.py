@@ -87,11 +87,33 @@ class TestSpecjbbCLI:
 
 
 class TestClusterCLI:
-    def test_study_runs(self, capsys):
+    def test_failure_study_runs_as_subcommand(self, capsys):
         from repro.cli import cluster_main
 
-        rc = cluster_main(["-n", "2", "--duration", "600",
+        rc = cluster_main(["failures", "-n", "2", "--duration", "600",
                            "--gc", "ParallelOld"])
         out = capsys.readouterr().out
         assert rc == 0
         assert "DOWN convictions" in out and "availability" in out
+
+    def test_merge_subcommand(self, capsys, tmp_path):
+        from repro.campaign import CellSpec, ResultStore, run_cell
+        from repro.cli import cluster_main
+
+        cell = CellSpec.from_axes("lusearch", "Serial", "1g", "256m", 0,
+                                  iterations=2)
+        shard = ResultStore(str(tmp_path / "shard0"))
+        shard.record_ok(cell, run_cell(cell))
+        rc = cluster_main(["merge", str(tmp_path / "shard0"),
+                           "--into", str(tmp_path / "merged")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "merged 1 stores: 1 records (1 ok, 0 failed)" in out
+        assert len(ResultStore(str(tmp_path / "merged"))) == 1
+
+    def test_submit_requires_connection_flags(self, capsys):
+        from repro.cli import cluster_main
+
+        rc = cluster_main(["submit", "--benchmarks", "lusearch"])
+        assert rc == 2
+        assert "need --socket" in capsys.readouterr().err

@@ -1,0 +1,158 @@
+"""Property tests for the cluster placement ring and membership.
+
+The fabric's correctness rests on placement being a pure function of
+(job digest, live membership). Hypothesis drives the two load-bearing
+ring properties — registration-order independence and leave-moves-only-
+the-leaver's-digests — plus the membership/NodeSpec plumbing above them.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing, Membership, NodeSpec
+from repro.errors import ConfigError
+
+#: Node-id alphabet kept printable/structured like real addresses.
+node_ids = st.lists(
+    st.text(alphabet="abcdefgh0123456789:/.-", min_size=1, max_size=24),
+    min_size=1, max_size=8, unique=True)
+
+digests = st.lists(
+    st.integers(min_value=0, max_value=2**32).map(
+        lambda n: hashlib.sha256(str(n).encode()).hexdigest()),
+    min_size=1, max_size=64, unique=True)
+
+
+class TestRingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ids=node_ids, ds=digests, seed=st.randoms())
+    def test_assignment_independent_of_registration_order(self, ids, ds, seed):
+        a = HashRing()
+        for n in ids:
+            a.add(n)
+        shuffled = list(ids)
+        seed.shuffle(shuffled)
+        b = HashRing()
+        for n in shuffled:
+            b.add(n)
+        assert [a.lookup(d) for d in ds] == [b.lookup(d) for d in ds]
+        assert a.node_ids == b.node_ids
+
+    @settings(max_examples=60, deadline=None)
+    @given(ids=node_ids, ds=digests, data=st.data())
+    def test_leave_moves_only_the_leavers_digests(self, ids, ds, data):
+        ring = HashRing()
+        for n in ids:
+            ring.add(n)
+        leaver = data.draw(st.sampled_from(ids))
+        before = {d: ring.lookup(d) for d in ds}
+        ring.remove(leaver)
+        if len(ids) == 1:
+            assert all(ring.lookup(d) is None for d in ds)
+            return
+        for d in ds:
+            after = ring.lookup(d)
+            if before[d] == leaver:
+                assert after != leaver
+            else:
+                assert after == before[d]
+
+    @settings(max_examples=60, deadline=None)
+    @given(ids=node_ids, ds=digests)
+    def test_rejoin_restores_the_original_assignment(self, ids, ds):
+        ring = HashRing()
+        for n in ids:
+            ring.add(n)
+        before = {d: ring.lookup(d) for d in ds}
+        ring.remove(ids[0])
+        ring.add(ids[0])
+        assert {d: ring.lookup(d) for d in ds} == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(ids=node_ids, ds=digests)
+    def test_preference_order_heads_at_owner_and_covers_everyone(self, ids, ds):
+        ring = HashRing()
+        for n in ids:
+            ring.add(n)
+        for d in ds[:8]:
+            pref = ring.preference(d)
+            assert pref[0] == ring.lookup(d)
+            assert sorted(pref) == sorted(ids)
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("a")
+        ring.remove("a")
+        assert len(ring) == 0 and ring.lookup("x" * 64) is None
+
+    def test_replicas_spread_load(self):
+        ring = HashRing()
+        for n in ("a", "b", "c", "d"):
+            ring.add(n)
+        ds = [hashlib.sha256(str(i).encode()).hexdigest()
+              for i in range(2000)]
+        counts = {n: 0 for n in ("a", "b", "c", "d")}
+        for d in ds:
+            counts[ring.lookup(d)] += 1
+        # 64 virtual nodes keep every share within a loose 2x band.
+        assert all(2000 / 8 <= c <= 2000 / 2 for c in counts.values()), counts
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ConfigError):
+            HashRing(replicas=0)
+
+
+class TestNodeSpec:
+    def test_parse_unix_forms(self):
+        a = NodeSpec.parse("unix:/tmp/w.sock")
+        b = NodeSpec.parse("/tmp/w.sock")
+        assert a == b
+        assert a.node_id == "unix:/tmp/w.sock"
+        assert a.socket_path == "/tmp/w.sock"
+
+    def test_parse_tcp(self):
+        spec = NodeSpec.parse("127.0.0.1:9001")
+        assert spec.node_id == "127.0.0.1:9001"
+        assert spec.socket_path is None
+        assert (spec.host, spec.port) == ("127.0.0.1", 9001)
+
+    @pytest.mark.parametrize("bad", ["", "unix:", "nocolon", ":123",
+                                     "host:notaport", "host:0",
+                                     "host:70000"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            NodeSpec.parse(bad)
+
+
+class TestMembership:
+    def test_mark_dead_leaves_the_ring_but_stays_visible(self):
+        m = Membership()
+        for addr in ("unix:/a", "unix:/b", "unix:/c"):
+            m.join(NodeSpec.parse(addr))
+        assert m.mark_dead("unix:/b")
+        assert m.live_ids() == ["unix:/a", "unix:/c"]
+        assert m.dead_ids() == ["unix:/b"]
+        ds = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(50)]
+        assert all(m.assign(d).node_id != "unix:/b" for d in ds)
+        # A join revives the node and restores its placements exactly.
+        m.join(NodeSpec.parse("unix:/b"))
+        assert m.dead_ids() == []
+        fresh = Membership()
+        for addr in ("unix:/a", "unix:/b", "unix:/c"):
+            fresh.join(NodeSpec.parse(addr))
+        assert [m.assign(d).node_id for d in ds] == \
+               [fresh.assign(d).node_id for d in ds]
+
+    def test_leave_forgets_dead_nodes_too(self):
+        m = Membership()
+        m.join(NodeSpec.parse("unix:/a"))
+        m.mark_dead("unix:/a")
+        assert m.leave("unix:/a")
+        assert not m.leave("unix:/a")
+        assert m.dead_ids() == [] and len(m) == 0

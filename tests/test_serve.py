@@ -484,3 +484,106 @@ class TestConfig:
     def test_bad_config_rejected(self, kw):
         with pytest.raises(ConfigError):
             ServiceConfig(**kw)
+
+
+# ----------------------------------------------------------------------
+# Cancellation (the cluster coordinator's steal primitive)
+# ----------------------------------------------------------------------
+
+
+class TestCancel:
+    def test_queued_job_is_cancelled_and_waiters_learn(self, tmp_path):
+        gate = threading.Event()
+
+        async def main():
+            async with service(tmp_path, workers=1,
+                               cell_fn=gated(gate)) as svc:
+                client = await ServiceClient.connect(svc.config.socket_path)
+                blocker = asyncio.ensure_future(
+                    client.submit(JOB, timeout=60))
+                await wait_until(lambda: svc.metrics.counter(
+                    "jobs.accepted").value == 1, what="the blocker to queue")
+                victim_job = dict(JOB, seed=7)
+                digest = CellSpec.from_axes(
+                    "lusearch", "Serial", "1g", "256m", 7,
+                    iterations=2).digest()
+                waiter = asyncio.ensure_future(
+                    client.submit(victim_job, timeout=60))
+                await wait_until(lambda: svc.metrics.counter(
+                    "jobs.accepted").value == 2, what="the victim to queue")
+                verdict = await client.cancel(digest, timeout=10)
+                withdrawn = await waiter        # the waiter is notified
+                gate.set()
+                first = await blocker
+                stats = await client.status(timeout=10)
+                await client.close()
+                return verdict, withdrawn, first, stats, digest
+
+        verdict, withdrawn, first, stats, digest = asyncio.run(main())
+        assert verdict["outcome"] == "cancelled"
+        assert verdict["digest"] == digest
+        assert withdrawn["type"] == "cancelled"
+        assert first["type"] == "result"        # the started job finished
+        counters = stats["metrics"]["counters"]
+        assert counters["jobs.cancelled"] == 1
+        assert counters["jobs.simulated"] == 1  # the victim never ran
+
+    def test_started_job_answers_busy(self, tmp_path):
+        gate = threading.Event()
+
+        async def main():
+            async with service(tmp_path, workers=1,
+                               cell_fn=gated(gate)) as svc:
+                client = await ServiceClient.connect(svc.config.socket_path)
+                task = asyncio.ensure_future(client.submit(JOB, timeout=60))
+                await wait_until(
+                    lambda: any(j.started is not None
+                                for j in svc._inflight.values()),
+                    what="the job to start")
+                verdict = await client.cancel(CELL.digest(), timeout=10)
+                gate.set()
+                resp = await task
+                await client.close()
+                return verdict, resp
+
+        verdict, resp = asyncio.run(main())
+        assert verdict["outcome"] == "busy"
+        assert resp["type"] == "result"
+
+    def test_unknown_digest_and_malformed_cancel(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as svc:
+                client = await ServiceClient.connect(svc.config.socket_path)
+                unknown = await client.cancel("a" * 64, timeout=10)
+                # A cancel without a digest is a 400, not a hang.
+                rid = 999
+                queue = await client._request(
+                    {"op": "cancel", "id": rid}, rid)
+                malformed = await client._next(queue, 10)
+                client._pending.pop(rid, None)
+                await client.close()
+                return unknown, malformed
+
+        unknown, malformed = asyncio.run(main())
+        assert unknown["outcome"] == "unknown"
+        assert malformed["type"] == "error" and malformed["code"] == 400
+
+    def test_status_ships_the_full_pause_histogram(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as svc:
+                client = await ServiceClient.connect(svc.config.socket_path)
+                await client.submit(JOB, timeout=60)
+                stats = await client.status(timeout=10)
+                await client.close()
+                return stats
+
+        stats = asyncio.run(main())
+        pauses = stats["pauses"]
+        assert pauses["count"] > 0
+        from repro.telemetry.hist import LogHistogram
+
+        hist = LogHistogram.from_dict(pauses["hist"])
+        # The encoded histogram carries exactly the summarized pauses, so
+        # a coordinator can merge shards without losing precision.
+        assert hist.total_count == pauses["count"]
+        assert hist.percentile(99.0) == pauses["p99"]

@@ -51,6 +51,12 @@ TRACED = (
      ["xalan", "-n", "10", "--gc", "CMS", "--seed", "1"]),
     ("xalan-G1-seed1",
      ["xalan", "-n", "10", "--gc", "G1", "--seed", "1"]),
+    # The fully-concurrent collectors: same byte-identity bar, and their
+    # pinned pause percentiles document the sub-10ms tail in baseline.json.
+    ("xalan-ZGC-seed1",
+     ["xalan", "-n", "10", "--gc", "ZGC", "--seed", "1"]),
+    ("xalan-Shenandoah-seed1",
+     ["xalan", "-n", "10", "--gc", "Shenandoah", "--seed", "1"]),
 )
 
 _PAUSE_QS = (50.0, 90.0, 99.0, 100.0)

@@ -8,6 +8,8 @@ Each module maps to one artefact family:
 * :mod:`~repro.analysis.ranking`   — Figure 3 (GC ranking by wins);
 * :mod:`~repro.analysis.latency`   — Tables 5-7 (latency band statistics);
 * :mod:`~repro.analysis.summary`   — Table 8 (qualitative GC summary);
+* :mod:`~repro.analysis.lbo`       — LBO cost distillation (min-over-heaps
+  overhead vs an ideal no-GC baseline, ``repro-lbo``);
 * :mod:`~repro.analysis.report`    — plain-text table / series rendering.
 """
 
@@ -19,6 +21,8 @@ from .ranking import RankingResult, rank_by_wins
 from .latency import (LatencyBandStats, LatencySummary, latency_band_stats,
                       gc_overlap_fraction)
 from .summary import GCVerdict, qualitative_summary
+from .lbo import (IDEAL_GC, LBOConfig, LBOStudyResult, nearest_rank,
+                  run_lbo_study)
 from .report import render_table, render_series
 from .ascii_plot import scatter_plot
 
@@ -41,6 +45,11 @@ __all__ = [
     "gc_overlap_fraction",
     "GCVerdict",
     "qualitative_summary",
+    "IDEAL_GC",
+    "LBOConfig",
+    "LBOStudyResult",
+    "nearest_rank",
+    "run_lbo_study",
     "render_table",
     "render_series",
     "scatter_plot",

@@ -175,7 +175,7 @@ def _jsonable(value):
 
 
 def _encode_config(config: JVMConfig) -> Dict[str, object]:
-    return {
+    out = {
         "gc": config.gc.value,
         "heap": config.heap_bytes,
         "young": float(config.young) if config.young is not None else None,
@@ -190,6 +190,11 @@ def _encode_config(config: JVMConfig) -> Dict[str, object]:
         "misc_safepoints": config.misc_safepoints,
         "misc_safepoint_interval": config.misc_safepoint_interval,
     }
+    # Emitted only when set, so every record written before the field
+    # existed (and every legacy-collector record) keeps its exact bytes.
+    if config.remset_fidelity:
+        out["remset_fidelity"] = True
+    return out
 
 
 def _decode_config(d: Dict[str, object]) -> JVMConfig:
@@ -203,6 +208,7 @@ def _decode_config(d: Dict[str, object]) -> JVMConfig:
         n_threads=d["n_threads"], seed=d["seed"],
         misc_safepoints=d["misc_safepoints"],
         misc_safepoint_interval=d["misc_safepoint_interval"],
+        remset_fidelity=d.get("remset_fidelity", False),
     )
     topology = _TOPOLOGIES.get(d["topology"])
     if topology is not None:

@@ -291,5 +291,12 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
     return main(argv)
 
 
+def lbo_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-lbo``: LBO cost-distillation studies."""
+    from .analysis.lbo_cli import main
+
+    return main(argv)
+
+
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(dacapo_main())

@@ -21,7 +21,14 @@ G1             parallel evacuation          concurrent marking + mixed
 
 from .base import Collector, Outcome, STWPause
 from .stats import GCLog, PauseRecord
-from .registry import GCType, create_collector, GC_NAMES
+from .registry import (
+    ALL_GC_NAMES,
+    GC_NAMES,
+    GCType,
+    MODERN_GC_NAMES,
+    TABLE8_GC_NAMES,
+    create_collector,
+)
 from .serial import SerialGC
 from .parnew import ParNewGC
 from .parallel import ParallelGC
@@ -29,6 +36,9 @@ from .parallel_old import ParallelOldGC
 from .cms import ConcurrentMarkSweepGC
 from .g1 import G1GC
 from .htm import HTMGC
+from .zgc import ZGC
+from .shenandoah import ShenandoahGC
+from .epsilon import EpsilonGC
 
 __all__ = [
     "Collector",
@@ -38,6 +48,9 @@ __all__ = [
     "PauseRecord",
     "GCType",
     "GC_NAMES",
+    "MODERN_GC_NAMES",
+    "ALL_GC_NAMES",
+    "TABLE8_GC_NAMES",
     "create_collector",
     "SerialGC",
     "ParNewGC",
@@ -46,4 +59,7 @@ __all__ = [
     "ConcurrentMarkSweepGC",
     "G1GC",
     "HTMGC",
+    "ZGC",
+    "ShenandoahGC",
+    "EpsilonGC",
 ]

@@ -54,12 +54,18 @@ class Outcome:
     #: the JVM at ``now + delay`` and returns a further Outcome.
     schedule: List[Tuple[float, Callable[[float], "Outcome"]]] = field(default_factory=list)
     concurrent: List[ConcurrentRecord] = field(default_factory=list)
+    #: Allocation-stall seconds the *triggering mutator* must wait after
+    #: the (tiny) pauses complete — the fully-concurrent collectors' way
+    #: of making allocators pay when relocation cannot keep up, instead
+    #: of a long STW pause. Zero for the stock collectors.
+    stall_seconds: float = 0.0
 
     def merge(self, other: "Outcome") -> "Outcome":
         """Append *other*'s content to this outcome (returns self)."""
         self.pauses.extend(other.pauses)
         self.schedule.extend(other.schedule)
         self.concurrent.extend(other.concurrent)
+        self.stall_seconds += other.stall_seconds
         return self
 
 
@@ -120,9 +126,19 @@ class Collector(ABC):
         gc_threads: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         noise: float = 0.03,
+        remset_fidelity: bool = False,
     ):
         self.heap = heap
         self.costs = costs
+        #: Card/remset fidelity: when enabled the heap reports real
+        #: card-quantised scan volumes (CMS/ParNew scan actual dirty
+        #: cards; G1 prices remark off remset cardinality). Off by
+        #: default so the paper's six collectors stay byte-identical to
+        #: the committed baselines; the fully-concurrent collectors
+        #: force it on.
+        self.remset_fidelity = bool(remset_fidelity)
+        if self.remset_fidelity:
+            heap.card_fidelity = True
         default = costs.default_gc_threads()
         self.gc_threads = int(gc_threads) if gc_threads is not None else default
         if self.gc_threads < 1:

@@ -1,0 +1,47 @@
+"""Epsilon-style no-op collector — the LBO ideal baseline.
+
+"Distilling the Real Cost of Production Garbage Collectors" distills
+each collector's total cost as overhead relative to an *ideal* run in
+which memory reclamation is free. OpenJDK's Epsilon GC (JEP 318) is the
+practical stand-in: it never collects and crashes on heap exhaustion.
+The simulator can do one better — :class:`EpsilonGC` reclaims dead
+bytes with the ordinary full-collection *mechanics* (so runs complete
+instead of exhausting the address space) but reports **zero pauses and
+zero concurrent work**: reclamation is instantaneous and free.
+
+What remains in an Epsilon run is therefore exactly the LBO
+denominator: pure application time plus the unavoidable safepoint
+epsilon (time-to-safepoint is still paid at each would-be collection, a
+sub-percent effect documented in DESIGN.md §17). A run whose live set
+genuinely exceeds the heap still crashes, as the real Epsilon would.
+"""
+
+from __future__ import annotations
+
+from .base import Collector, Outcome
+
+
+class EpsilonGC(Collector):
+    """``-XX:+UseEpsilonGC``-style ideal no-GC-cost baseline."""
+
+    name = "EpsilonGC"
+    parallel_young = False
+    parallel_full = False
+    #: SL006 opt-out: producing zero pauses is this collector's design
+    #: (it is the LBO denominator), not an accounting leak.
+    pauseless = True
+
+    def allocation_failure(self, now: float) -> Outcome:
+        """Reclaim dead bytes for free (ideal-baseline semantics).
+
+        Runs the full-collection mechanics so the heap's accounting stays
+        truthful — and so a genuinely over-committed live set raises
+        :class:`~repro.errors.HeapError` (crash), like real Epsilon — but
+        reports no pauses: the run's only GC cost is time-to-safepoint.
+        """
+        self.heap.full_collection(now, compacting=True)
+        return Outcome()
+
+    def explicit_gc(self, now: float) -> Outcome:
+        """``System.gc()`` is a no-op (Epsilon ignores it)."""
+        return Outcome()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..heap.cards import RememberedSet
 from ..heap.heap import CollectionVolumes
 from ..heap.regions import RegionTable
 from .base import Collector, Outcome, STWPause
@@ -54,6 +55,11 @@ class G1GC(Collector):
         super().__init__(*args, **kwargs)
         self.pause_target = float(pause_target)
         self.regions = RegionTable.for_heap(self.heap.config.heap_bytes)
+        # G1 always maintains per-region remembered sets (kept in sync
+        # with the card table by the heap — pure integer bookkeeping);
+        # they *price* the remark scan only under remset fidelity.
+        if self.heap.remset is None:
+            self.heap.attach_remset(RememberedSet(self.regions))
         self.conc_threads = self.costs.default_concurrent_gc_threads()
         self._state = "idle"       # idle | marking
         self._cycle_gen = 0
@@ -161,6 +167,15 @@ class G1GC(Collector):
         if gen != self._cycle_gen or self._state != "marking":
             return Outcome()
         outcome = Outcome()
+        if self.remset_fidelity and self.heap.remset is not None:
+            # Real remset cardinality: scan exactly the remembered cards
+            # plus the per-region "into-old" component.
+            remark_cards = (
+                self.heap.remset.total_bytes + 0.02 * self.heap.old.used
+            )
+        else:
+            # Legacy scalar approximation (byte-identical baseline path).
+            remark_cards = self.heap.dirty_card_bytes + 0.02 * self.heap.old.used
         remark = STWPause(
             "remark",
             "G1 Remark",
@@ -168,9 +183,7 @@ class G1GC(Collector):
                 n_threads=self._young_threads(),
                 marked=0.1 * self.heap.young_used,
                 # Region remembered sets grow with the old generation.
-                cards_scanned=(
-                    self.heap.dirty_card_bytes + 0.02 * self.heap.old.used
-                ) * self.card_scan_weight,
+                cards_scanned=remark_cards * self.card_scan_weight,
                 fixed=0.008,
                 rate_factor=self._locality(),
             )

@@ -8,17 +8,22 @@ from typing import Dict, Type
 from ..errors import ConfigError
 from .base import Collector
 from .cms import ConcurrentMarkSweepGC
+from .epsilon import EpsilonGC
 from .g1 import G1GC
 from .htm import HTMGC
 from .parallel import ParallelGC
 from .parallel_old import ParallelOldGC
 from .parnew import ParNewGC
 from .serial import SerialGC
+from .shenandoah import ShenandoahGC
+from .zgc import ZGC
 
 
 class GCType(enum.Enum):
     """The six collectors evaluated by the paper (Table 1), plus the
-    HTM-based collector the paper proposes as future work (§6)."""
+    extensions: the HTM-based collector the paper proposes as future
+    work (§6) and the modern fully-concurrent set measured by the
+    Distilling-the-Real-Cost study (ZGC, Shenandoah, Epsilon)."""
 
     SERIAL = "SerialGC"
     PARNEW = "ParNewGC"
@@ -27,6 +32,9 @@ class GCType(enum.Enum):
     CMS = "ConcMarkSweepGC"
     G1 = "G1GC"
     HTM = "HTMGC"
+    ZGC = "ZGC"
+    SHENANDOAH = "ShenandoahGC"
+    EPSILON = "EpsilonGC"
 
 
 _REGISTRY: Dict[GCType, Type[Collector]] = {
@@ -37,11 +45,35 @@ _REGISTRY: Dict[GCType, Type[Collector]] = {
     GCType.CMS: ConcurrentMarkSweepGC,
     GCType.G1: G1GC,
     GCType.HTM: HTMGC,
+    GCType.ZGC: ZGC,
+    GCType.SHENANDOAH: ShenandoahGC,
+    GCType.EPSILON: EpsilonGC,
 }
 
-#: The paper's six collectors, in its plotting order (the HTM extension
-#: is deliberately excluded — it is the paper's *future work*).
-GC_NAMES = [t.value for t in GCType if t is not GCType.HTM]
+#: Collectors beyond the paper's measured six: the HTM future-work
+#: extension and the modern fully-concurrent set (Epsilon is the LBO
+#: ideal baseline, not a production collector).
+_EXTENSIONS = frozenset({GCType.HTM, GCType.ZGC, GCType.SHENANDOAH, GCType.EPSILON})
+
+#: The paper's six collectors, in its plotting order (the extensions
+#: above are deliberately excluded — the paper never measured them).
+GC_NAMES = [t.value for t in GCType if t not in _EXTENSIONS]
+
+#: The modern fully-concurrent production collectors (Distilling study).
+MODERN_GC_NAMES = [GCType.ZGC.value, GCType.SHENANDOAH.value]
+
+#: Every production collector the simulator models (paper six + modern;
+#: excludes the HTM thought experiment and the Epsilon oracle).
+ALL_GC_NAMES = GC_NAMES + MODERN_GC_NAMES
+
+#: Table 8's qualitative-summary roster extended into the modern era:
+#: the paper's three headline collectors plus the concurrent newcomers.
+TABLE8_GC_NAMES = (
+    GCType.PARALLEL_OLD.value,
+    GCType.CMS.value,
+    GCType.G1.value,
+    *MODERN_GC_NAMES,
+)
 
 _ALIASES = {
     "serial": GCType.SERIAL,
@@ -60,6 +92,13 @@ _ALIASES = {
     "g1gc": GCType.G1,
     "htm": GCType.HTM,
     "htmgc": GCType.HTM,
+    "z": GCType.ZGC,
+    "zgc": GCType.ZGC,
+    "shenandoah": GCType.SHENANDOAH,
+    "shenandoahgc": GCType.SHENANDOAH,
+    "epsilon": GCType.EPSILON,
+    "epsilongc": GCType.EPSILON,
+    "nogc": GCType.EPSILON,
 }
 
 

@@ -46,9 +46,17 @@ class PauseRecord:
         return self.kind == "full"
 
 
+#: Phase name of a concurrent *relocation* (ZGC/Shenandoah copying while
+#: mutators run). The World routes these to the dedicated
+#: ``concurrent_relocation`` tracer event; every other phase name keeps
+#: the generic ``concurrent_phase`` event.
+RELOCATION_PHASE = "concurrent-relocation"
+
+
 @dataclass(frozen=True)
 class ConcurrentRecord:
-    """One concurrent GC phase (CMS mark/sweep, G1 marking)."""
+    """One concurrent GC phase (CMS mark/sweep, G1 marking, ZGC/Shenandoah
+    relocation)."""
 
     start: float
     duration: float

@@ -17,6 +17,7 @@ from .lifetime import (
     Mixture,
     Weibull,
 )
+from .cards import CARD_SIZE, CardTable, RememberedSet, cards_for
 from .cohort import Cohort
 from .object_model import HeapObject, ObjectGraph
 from .spaces import Space, SpaceKind
@@ -31,6 +32,10 @@ __all__ = [
     "Fixed",
     "Immortal",
     "Mixture",
+    "CARD_SIZE",
+    "CardTable",
+    "RememberedSet",
+    "cards_for",
     "Cohort",
     "HeapObject",
     "ObjectGraph",

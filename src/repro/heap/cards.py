@@ -1,0 +1,150 @@
+"""Card tables and per-region remembered sets.
+
+PR 1 introduced ``World.dirty_cards`` but the heap tracked dirtiness as
+a single scalar (``dirty_card_bytes``) — a volume approximation good
+enough for the paper's six collectors, where the card-scan term is a
+linear function of dirty volume anyway.  This module upgrades the model
+to explicit structures:
+
+* :class:`CardTable` — a saturating count of *distinct* dirty cards over
+  the old generation, quantised to :data:`CARD_SIZE`-byte cards exactly
+  like HotSpot's byte-map (one byte per 512-byte card).  Two writes into
+  the same logical card region no longer double-count, and the table can
+  never report more dirty cards than the covered space holds.
+* :class:`RememberedSet` — per-region card counts for region-based
+  collectors (G1, ZGC, Shenandoah).  Into-region references are what a
+  region collector actually scans when it evacuates a region, so remset
+  cardinality — not raw dirty volume — prices the remark/evacuation scan
+  when ``remset_fidelity`` is enabled.
+
+Both structures are pure integer arithmetic: enabling them for the new
+collectors adds **zero** floating-point operations on the legacy
+collectors' paths, which is what keeps the paper's six collectors
+byte-identical to the committed baselines (gated in CI by ``cmp``).
+
+The scalar ``dirty_card_bytes`` remains the source of truth for legacy
+pricing; the card table runs in parallel and becomes authoritative only
+when a collector opts in via ``remset_fidelity`` (see
+:meth:`repro.gc.base.Collector.__init__`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .regions import RegionTable
+
+# HotSpot's card size: 512 bytes per card, one byte-map entry each.
+CARD_SIZE = 512.0
+
+
+def cards_for(n_bytes: float) -> int:
+    """Number of cards covering *n_bytes* (ceiling; >=0)."""
+    if n_bytes <= 0.0:
+        return 0
+    return int(-(-n_bytes // CARD_SIZE))
+
+
+class CardTable:
+    """Saturating dirty-card counter over a covered byte range.
+
+    Models HotSpot's card-table byte map at the granularity the
+    simulation needs: how *many* distinct cards are dirty, never which
+    ones.  ``dirty()`` returns the number of newly dirtied cards so a
+    remembered set can be kept in sync incrementally.
+    """
+
+    __slots__ = ("covered_bytes", "total_cards", "dirty_cards_count")
+
+    def __init__(self, covered_bytes: float) -> None:
+        if covered_bytes <= 0.0:
+            raise ConfigError(f"card table must cover >0 bytes: {covered_bytes}")
+        self.covered_bytes = float(covered_bytes)
+        self.total_cards = cards_for(covered_bytes)
+        self.dirty_cards_count = 0
+
+    def dirty(self, n_bytes: float, used_bytes: float) -> int:
+        """Dirty the cards covering *n_bytes* of writes into a space
+        currently holding *used_bytes*; returns the newly-dirtied count.
+
+        Saturates at the number of cards the *used* portion of the
+        covered space occupies — mirroring the scalar model's
+        ``min(dirty + n, old.used)`` clamp, card-quantised.
+        """
+        if n_bytes < 0.0:
+            raise ConfigError(f"cannot dirty a negative span: {n_bytes}")
+        cap = min(cards_for(used_bytes), self.total_cards)
+        new_count = min(self.dirty_cards_count + cards_for(n_bytes), cap)
+        added = new_count - self.dirty_cards_count
+        if added > 0:
+            self.dirty_cards_count = new_count
+        return max(added, 0)
+
+    @property
+    def dirty_bytes(self) -> float:
+        """Dirty volume implied by the card count (count x CARD_SIZE)."""
+        return self.dirty_cards_count * CARD_SIZE
+
+    def clear(self) -> None:
+        """Clean every card (post-scan reset)."""
+        self.dirty_cards_count = 0
+
+
+class RememberedSet:
+    """Per-region counts of into-region reference cards.
+
+    Each old region remembers how many dirty cards point into it.  New
+    cards are spread round-robin over the currently occupied region
+    prefix — a deterministic stand-in for HotSpot's per-region
+    "Other regions -> this region" card sets that preserves the global
+    invariant ``sum(per_region) == card_table.dirty_cards_count``.
+    """
+
+    __slots__ = ("regions", "per_region", "_cursor")
+
+    def __init__(self, regions: RegionTable) -> None:
+        self.regions = regions
+        self.per_region: List[int] = [0] * regions.total_regions
+        self._cursor = 0
+
+    def record(self, n_cards: int, occupied_regions: int) -> None:
+        """Distribute *n_cards* new remembered cards over the occupied
+        region prefix (round-robin from a persistent cursor)."""
+        if n_cards <= 0:
+            return
+        span = max(1, min(occupied_regions, len(self.per_region)))
+        for _ in range(n_cards):
+            self.per_region[self._cursor % span] += 1
+            self._cursor += 1
+
+    def evacuate_region(self, src: int, dst: int) -> int:
+        """Move every remembered card from region *src* to *dst*
+        (references into an evacuated region now point at its copy);
+        returns the number of cards moved.  Conserves total cardinality.
+        """
+        moved = self.per_region[src]
+        if src == dst:
+            return moved
+        self.per_region[src] = 0
+        self.per_region[dst] += moved
+        return moved
+
+    @property
+    def total_cards(self) -> int:
+        return sum(self.per_region)
+
+    @property
+    def total_bytes(self) -> float:
+        """Remembered volume (cards x CARD_SIZE) — the remset-fidelity
+        replacement for the scalar ``dirty_card_bytes`` in remark
+        pricing."""
+        return self.total_cards * CARD_SIZE
+
+    def occupied(self) -> int:
+        """Number of regions with at least one remembered card."""
+        return sum(1 for c in self.per_region if c)
+
+    def clear(self) -> None:
+        self.per_region = [0] * self.regions.total_regions
+        self._cursor = 0

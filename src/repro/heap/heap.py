@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import AllocationFailure, ConfigError, HeapError, PromotionFailure
 from ..units import MB, fmt_bytes
+from .cards import CardTable, RememberedSet
 from .cohort import Cohort
 from .lifetime import LifetimeDistribution
 from .object_model import ObjectGraph
@@ -188,7 +189,18 @@ class GenerationalHeap:
         self.fragmentation = 0.0
         self.fragmentation_cap = 0.25
         #: Old-gen bytes covered by dirty cards since the last young GC.
+        #: The scalar stays authoritative for the paper's six collectors;
+        #: the explicit card table below runs in parallel (pure integer
+        #: arithmetic, zero float ops on the legacy path) and prices scans
+        #: only for collectors that opt in via ``card_fidelity``.
         self.dirty_card_bytes = 0.0
+        self.card_table = CardTable(config.heap_bytes)
+        #: Per-region remembered set; region collectors attach one via
+        #: :meth:`attach_remset` and it is kept in card-table sync.
+        self.remset: Optional[RememberedSet] = None
+        #: When True, ``minor_collection`` reports the card-quantised
+        #: scan volume instead of the scalar approximation.
+        self.card_fidelity = False
         self._last_minor_at = 0.0
 
     # ------------------------------------------------------------------
@@ -324,6 +336,37 @@ class GenerationalHeap:
         self.dirty_card_bytes = min(
             self.dirty_card_bytes + n_bytes, self.old.used
         )
+        added = self.card_table.dirty(n_bytes, self.old.used)
+        if self.remset is not None and added:
+            self.remset.record(added, self._occupied_old_regions())
+
+    def attach_remset(self, remset: RememberedSet) -> None:
+        """Attach a per-region remembered set (region collectors only).
+
+        Must happen before any cards are dirtied so the remset starts in
+        sync with the card table; from then on every newly-dirtied card
+        is distributed into it and :meth:`check_invariants` enforces
+        ``remset.total_cards == card_table.dirty_cards_count``.
+        """
+        if self.card_table.dirty_cards_count != 0:
+            raise HeapError("attach_remset requires a clean card table")
+        self.remset = remset
+
+    def _occupied_old_regions(self) -> int:
+        """Old regions currently holding data (for remset distribution)."""
+        assert self.remset is not None
+        return max(1, self.remset.regions.regions_for(self.old.used))
+
+    def _reset_card_structures(self, redirty_bytes: float) -> None:
+        """Post-scan card reset: clean every card, then re-dirty the
+        cards covering *redirty_bytes* (freshly promoted data holds some
+        references into young)."""
+        self.card_table.clear()
+        added = self.card_table.dirty(redirty_bytes, self.old.used)
+        if self.remset is not None:
+            self.remset.clear()
+            if added:
+                self.remset.record(added, self._occupied_old_regions())
 
     # ------------------------------------------------------------------
     # Collection mechanics
@@ -347,7 +390,10 @@ class GenerationalHeap:
         """
         vol = CollectionVolumes(kind="minor")
         vol.old_occupancy_before = self.old.occupancy
-        vol.cards_scanned = self.dirty_card_bytes
+        if self.card_fidelity:
+            vol.cards_scanned = self.card_table.dirty_bytes
+        else:
+            vol.cards_scanned = self.dirty_card_bytes
 
         # 1. Age cohorts and find survivors (vectorized over cohorts).
         eden_freed, eden_survivors = batch_collect(self.eden_cohorts, now)
@@ -415,7 +461,9 @@ class GenerationalHeap:
             self.old.add(min(promoted_bytes + g.promoted_bytes, self.old.free))
 
         # Promoted data starts out with some dirty references into young.
-        self.dirty_card_bytes = 0.15 * (promoted_bytes + g.promoted_bytes)
+        redirty = 0.15 * (promoted_bytes + g.promoted_bytes)
+        self.dirty_card_bytes = redirty
+        self._reset_card_structures(redirty)
         vol.marked = vol.copied_to_survivor + vol.promoted
         self._last_minor_at = now
         return vol
@@ -485,6 +533,7 @@ class GenerationalHeap:
             self.old.capacity,
         )
         self.dirty_card_bytes = 0.0
+        self._reset_card_structures(0.0)
         return vol
 
     def _commit_survivor(self, survivor_bytes: float) -> None:
@@ -584,5 +633,17 @@ class GenerationalHeap:
         if self.dirty_card_bytes < -_EPSILON:
             raise HeapError(
                 f"negative dirty_card_bytes {self.dirty_card_bytes}"
+            )
+        if not (0 <= self.card_table.dirty_cards_count
+                <= self.card_table.total_cards):
+            raise HeapError(
+                f"dirty card count {self.card_table.dirty_cards_count} "
+                f"outside [0, {self.card_table.total_cards}]"
+            )
+        if (self.remset is not None
+                and self.remset.total_cards != self.card_table.dirty_cards_count):
+            raise HeapError(
+                f"remset cards {self.remset.total_cards} out of sync with "
+                f"card table {self.card_table.dirty_cards_count}"
             )
         self.graph.check_invariants()

@@ -108,6 +108,7 @@ class JVM:
             gc_threads=config.gc_threads,
             rng=rng_for(config.seed, config.gc.value, "collector"),
             pause_target=config.pause_target,
+            remset_fidelity=config.remset_fidelity,
         )
         self.gc_log = GCLog()
         self.world = World(
@@ -239,6 +240,11 @@ class JVM:
         result.execution_time = self.engine.now
         result.allocated_bytes = sum(c.allocated_bytes for c in self._contexts)
         result.alloc_overhead_time = sum(c.alloc_overhead_time for c in self._contexts)
+        if self.world.total_stall_time > 0.0:
+            # Only the concurrent collectors ever stall, so legacy runs'
+            # extras (and their cached encodings) are untouched.
+            result.extras["alloc_stall_seconds"] = self.world.total_stall_time
+            result.extras["alloc_stall_count"] = self.world.stall_count
         if error:
             result.crashed = True
             result.crash_reason = f"{type(error[0]).__name__}: {error[0]}"

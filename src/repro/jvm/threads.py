@@ -26,7 +26,7 @@ from typing import Callable, List, Optional
 
 from ..errors import OutOfMemoryError, PromotionFailure, AllocationFailure
 from ..gc.base import Outcome
-from ..gc.stats import GCLog, PauseRecord
+from ..gc.stats import GCLog, PauseRecord, RELOCATION_PHASE
 from ..heap.lifetime import LifetimeDistribution
 from ..perf import fastpath
 from ..sim import Engine, Event, Interrupt
@@ -56,6 +56,11 @@ class World:
         self._n_alive = 0
         self._n_running = 0
         self.total_stw_time = 0.0
+        #: Allocation-stall accounting (fully-concurrent collectors): the
+        #: triggering mutator waits for an in-flight relocation instead of
+        #: the world stopping. Always zero for the stock collectors.
+        self.stall_count = 0
+        self.total_stall_time = 0.0
         #: Telemetry sink (the JVM swaps in a live tracer when requested).
         self.tracer = NULL_TRACER
         self._thread_multiplier = 1.0
@@ -157,8 +162,10 @@ class World:
                 m.process.interrupt("safepoint")
         tts = self.costs.time_to_safepoint(threads)
         yield engine.timeout(tts)
+        stall = 0.0
         try:
             outcome = trigger(engine.now)
+            stall = outcome.stall_seconds
             yield from self._execute_outcome(outcome)
         finally:
             self.stw = False
@@ -166,6 +173,12 @@ class World:
             self.tracer.safepoint_end(engine.now, engine.now - sp_start, threads)
             event, self._resume_event = self._resume_event, None
             event.succeed()
+        # The allocation stall is served *after* the world resumes: only
+        # the triggering mutator waits for the in-flight relocation; every
+        # other thread keeps running.
+        if stall > 0.0 and current is not None:
+            self._record_stall(engine.now, stall)
+            yield from self._allocation_stall(current, stall)
 
     def _execute_outcome(self, outcome: Outcome):
         engine = self.engine
@@ -195,14 +208,37 @@ class World:
             self.total_stw_time += pause.duration
         for rec in outcome.concurrent:
             self.gc_log.record_concurrent(rec)
-            self.tracer.concurrent_phase(rec.start, rec.duration, rec.phase,
-                                         rec.collector)
+            if rec.phase == RELOCATION_PHASE:
+                self.tracer.concurrent_relocation(rec.start, rec.duration,
+                                                  rec.collector)
+            else:
+                self.tracer.concurrent_phase(rec.start, rec.duration, rec.phase,
+                                             rec.collector)
         for delay, fn in outcome.schedule:
             engine.process(self._scheduled_continuation(delay, fn))
 
     def _scheduled_continuation(self, delay: float, fn: Callable[[float], Outcome]):
         yield self.engine.timeout(delay)
         yield from self.gc_cycle(None, fn, must_run=True)
+
+    def _record_stall(self, now: float, seconds: float) -> None:
+        """Account one allocation stall (audited: never during STW)."""
+        self.stall_count += 1
+        self.total_stall_time += seconds
+        self.tracer.alloc_stall(now, seconds, self.collector.name)
+
+    def _allocation_stall(self, ctx: "MutatorContext", seconds: float):
+        """Generator: the triggering mutator waits out the in-flight
+        relocation. Wall time passes for this thread only; a safepoint
+        arriving mid-stall is absorbed like :meth:`MutatorContext.idle`.
+        """
+        engine = self.engine
+        deadline = engine.now + float(seconds)
+        while engine.now < deadline - 1e-12:
+            try:
+                yield engine.timeout(deadline - engine.now)
+            except Interrupt:
+                yield from self._park(ctx)
 
     def dirty_cards(self, n_bytes: float):
         """Generator: record old-generation mutation (card dirtying).

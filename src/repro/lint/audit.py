@@ -35,9 +35,13 @@ from typing import Dict, List, Optional
 
 from ..errors import HeapError, ReproError
 
-#: Pause kinds the simulator is allowed to emit (HotSpot-style).
+#: Pause kinds the simulator is allowed to emit (HotSpot-style). The
+#: last row is the fully-concurrent collectors' vocabulary: ZGC's three
+#: sub-millisecond synchronisation points and Shenandoah's degenerated
+#: (finish-evacuation-at-STW-speed) pause.
 KNOWN_PAUSE_KINDS = frozenset(
-    {"young", "full", "mixed", "initial-mark", "remark", "cleanup", "vm-op"}
+    {"young", "full", "mixed", "initial-mark", "remark", "cleanup", "vm-op",
+     "mark-start", "mark-end", "relocate-start", "degenerated"}
 )
 
 #: Declarative schema for one GC-log pause record: field -> (predicate,
@@ -101,7 +105,7 @@ class AuditError(ReproError):
 class AuditViolation:
     """A single invariant violation observed at a simulated time."""
 
-    check: str   #: clock | stw-exclusivity | byte-conservation | gc-log-schema | heap-invariant
+    check: str   #: clock | stw-exclusivity | byte-conservation | gc-log-schema | heap-invariant | stall-accounting
     time: float  #: simulated time of the observation
     detail: str
 
@@ -132,7 +136,7 @@ class InvariantAuditor:
         self.violations: List[AuditViolation] = []
         self.counters: Dict[str, int] = {
             "steps": 0, "minor_collections": 0, "full_collections": 0,
-            "sweeps": 0, "allocations": 0, "pauses": 0,
+            "sweeps": 0, "allocations": 0, "pauses": 0, "alloc_stalls": 0,
         }
         self._jvm = None
         self._originals: List[tuple] = []
@@ -152,6 +156,7 @@ class InvariantAuditor:
         self._wrap_engine(jvm.engine)
         self._wrap_heap(jvm.heap, jvm)
         self._wrap_gc_log(jvm.gc_log, jvm)
+        self._wrap_world(jvm.world)
         return self
 
     def detach(self) -> None:
@@ -365,6 +370,35 @@ class InvariantAuditor:
         self._patch(heap, "allocate_old", audited_alloc_old)
         self._patch(heap, "allocate_object", audited_alloc_obj)
         self._patch(heap, "dirty_cards", audited_dirty)
+
+    # ------------------------------------------------------------------
+    # GC log: schema + pause exclusivity
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # World: allocation-stall accounting (fully-concurrent collectors)
+    # ------------------------------------------------------------------
+
+    def _wrap_world(self, world) -> None:
+        original = world._record_stall
+
+        def audited_record_stall(now, seconds):
+            self.counters["alloc_stalls"] += 1
+            if not (math.isfinite(seconds) and seconds >= 0.0):
+                self._violate(
+                    "stall-accounting", now,
+                    f"allocation stall with non-finite/negative duration "
+                    f"{seconds!r}",
+                )
+            if world.stw:
+                self._violate(
+                    "stw-exclusivity", now,
+                    "allocation stall recorded while the world is stopped "
+                    "(stalls are served after the safepoint releases)",
+                )
+            return original(now, seconds)
+
+        self._patch(world, "_record_stall", audited_record_stall)
 
     # ------------------------------------------------------------------
     # GC log: schema + pause exclusivity

@@ -362,6 +362,11 @@ class PauseProtocolRule(Rule):
     equivalent of a collector that skips its verification pass. The
     check walks the *intra-class call graph*: the override must reach an
     ``STWPause(...)`` construction or a base pause-producing method.
+
+    A collector may opt out by declaring ``pauseless = True`` in its
+    class body — an explicit, reviewable statement that producing *no*
+    pauses is the design (the Epsilon-style ideal-GC oracle the LBO
+    methodology divides by), not an accounting leak.
     """
 
     rule_id = "SL006"
@@ -377,6 +382,8 @@ class PauseProtocolRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         collector_classes = self._collector_classes(ctx.tree)
         for cls in collector_classes:
+            if self._declares_pauseless(cls):
+                continue
             methods = {
                 n.name: n for n in cls.body
                 if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
@@ -393,6 +400,23 @@ class PauseProtocolRule(Rule):
                     )
 
     # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _declares_pauseless(cls: ast.ClassDef) -> bool:
+        """True when the class body literally sets ``pauseless = True``."""
+        for stmt in cls.body:
+            targets = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if (isinstance(target, ast.Name) and target.id == "pauseless"
+                        and isinstance(value, ast.Constant)
+                        and value.value is True):
+                    return True
+        return False
 
     def _collector_classes(self, tree: ast.AST) -> List[ast.ClassDef]:
         """Classes that (heuristically) extend the Collector protocol.

@@ -23,6 +23,10 @@ SAFEPOINT_END = "safepoint_end"
 GC_PHASE = "gc_phase"
 #: One concurrent GC phase (CMS mark/sweep, G1 marking).
 CONCURRENT_PHASE = "concurrent_phase"
+#: One concurrent relocation (ZGC/Shenandoah copying while mutators run).
+CONCURRENT_RELOCATION = "concurrent_relocation"
+#: A mutator stalled on allocation waiting for concurrent reclamation.
+ALLOC_STALL = "alloc_stall"
 #: A mutator hit the allocation slow path (eden could not satisfy it).
 ALLOC_SLOW = "alloc_slow"
 #: Estimated TLAB refills charged to an allocation site.
@@ -51,7 +55,8 @@ CLUSTER_MERGE = "cluster_merge"
 ANNOTATION = "annotation"
 
 #: Events that carry a duration (exported as Chrome complete events).
-SPAN_EVENTS = frozenset({GC_PHASE, CONCURRENT_PHASE, SAFEPOINT_END})
+SPAN_EVENTS = frozenset({GC_PHASE, CONCURRENT_PHASE, CONCURRENT_RELOCATION,
+                         ALLOC_STALL, SAFEPOINT_END})
 
 
 class TraceEvent(NamedTuple):

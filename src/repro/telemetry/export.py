@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ReproError
-from .events import (CONCURRENT_PHASE, GC_PHASE, SAFEPOINT_END, TraceEvent)
+from .events import (ALLOC_STALL, CONCURRENT_PHASE, CONCURRENT_RELOCATION,
+                     GC_PHASE, SAFEPOINT_END, TraceEvent)
 from .hist import LogHistogram
 from .tracer import Tracer
 
@@ -145,6 +146,14 @@ def to_chrome(trace: Trace) -> Dict[str, object]:
             out.append({"ph": "X", "pid": pid, "tid": _TID_CONC, "ts": ts,
                         "dur": ev.dur * _US,
                         "name": str(ev.args.get("phase", "concurrent")),
+                        "cat": "gc", "args": ev.args})
+        elif ev.name == CONCURRENT_RELOCATION:
+            out.append({"ph": "X", "pid": pid, "tid": _TID_CONC, "ts": ts,
+                        "dur": ev.dur * _US, "name": "relocation",
+                        "cat": "gc", "args": ev.args})
+        elif ev.name == ALLOC_STALL:
+            out.append({"ph": "X", "pid": pid, "tid": _TID_MUTATOR, "ts": ts,
+                        "dur": ev.dur * _US, "name": "alloc_stall",
                         "cat": "gc", "args": ev.args})
         elif ev.name == SAFEPOINT_END:
             out.append({"ph": "X", "pid": pid, "tid": _TID_MUTATOR, "ts": ts,

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .events import (ALLOC_SLOW, ANNOTATION, CLUSTER_MERGE, CLUSTER_ROUTE,
-                     CLUSTER_STEAL, CONCURRENT_PHASE, ENGINE_RUN,
-                     FLEET_FORCED_GC, FLEET_ROUTE, FLEET_SCALE, GC_PHASE,
-                     HEAP_RESIZE, PROMOTION, SAFEPOINT_BEGIN, SAFEPOINT_END,
+from .events import (ALLOC_SLOW, ALLOC_STALL, ANNOTATION, CLUSTER_MERGE,
+                     CLUSTER_ROUTE, CLUSTER_STEAL, CONCURRENT_PHASE,
+                     CONCURRENT_RELOCATION, ENGINE_RUN, FLEET_FORCED_GC,
+                     FLEET_ROUTE, FLEET_SCALE, GC_PHASE, HEAP_RESIZE,
+                     PROMOTION, SAFEPOINT_BEGIN, SAFEPOINT_END,
                      TENURING_ADAPT, TLAB_REFILL, TraceEvent)
 from .hist import LogHistogram
 from .ring import DEFAULT_CAPACITY, EventRing
@@ -52,7 +53,13 @@ class NullTracer:
     def concurrent_phase(self, t, dur, phase, collector):
         pass
 
+    def concurrent_relocation(self, t, dur, collector):
+        pass
+
     def alloc_slow(self, t, requested):
+        pass
+
+    def alloc_stall(self, t, dur, collector):
         pass
 
     def tlab_refill(self, t, refills, tlab_size):
@@ -139,8 +146,14 @@ class Tracer(NullTracer):
     def concurrent_phase(self, t, dur, phase, collector):
         self._emit(t, CONCURRENT_PHASE, dur, {"phase": phase, "collector": collector})
 
+    def concurrent_relocation(self, t, dur, collector):
+        self._emit(t, CONCURRENT_RELOCATION, dur, {"collector": collector})
+
     def alloc_slow(self, t, requested):
         self._emit(t, ALLOC_SLOW, 0.0, {"requested": requested})
+
+    def alloc_stall(self, t, dur, collector):
+        self._emit(t, ALLOC_STALL, dur, {"collector": collector})
 
     def tlab_refill(self, t, refills, tlab_size):
         self._emit(t, TLAB_REFILL, 0.0, {"refills": refills, "tlab_size": tlab_size})

@@ -44,7 +44,7 @@ class TestRegistry:
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigError):
-            resolve_gc("shenandoah")
+            resolve_gc("train-gc")
 
     def test_factory_returns_right_classes(self):
         classes = {

@@ -1,0 +1,227 @@
+"""Card-table / remembered-set structures and their heap invariants.
+
+The hypothesis properties here are the mechanical form of the ISSUE 9
+remset-fidelity contract: the dirty-card count never exceeds the heap's
+card capacity, remembered-set cards are conserved across region
+evacuation, and a young scan resets the card structures consistently.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, HeapError
+from repro.heap import (CARD_SIZE, CardTable, GenerationalHeap, HeapConfig,
+                        RememberedSet, cards_for)
+from repro.heap.lifetime import Exponential
+from repro.heap.regions import RegionTable
+from repro.units import GB, MB
+
+
+def make_heap(heap_bytes=1 * GB, young=None):
+    return GenerationalHeap(HeapConfig(heap_bytes=heap_bytes,
+                                       young_bytes=young or heap_bytes * 0.35))
+
+
+def make_remset(heap_bytes=1 * GB):
+    return RememberedSet(RegionTable.for_heap(heap_bytes))
+
+
+class TestCardsFor:
+    def test_zero_and_negative(self):
+        assert cards_for(0) == 0
+        assert cards_for(-10.0) == 0
+
+    def test_rounds_up(self):
+        assert cards_for(1.0) == 1
+        assert cards_for(CARD_SIZE) == 1
+        assert cards_for(CARD_SIZE + 1) == 2
+
+    @given(st.floats(0.0, 1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_covers_the_bytes(self, n):
+        assert cards_for(n) * CARD_SIZE >= n
+
+
+class TestCardTable:
+    def test_rejects_empty_coverage(self):
+        with pytest.raises(ConfigError):
+            CardTable(0.0)
+
+    def test_rejects_negative_dirty(self):
+        table = CardTable(1 * GB)
+        with pytest.raises(ConfigError):
+            table.dirty(-1.0, 10 * MB)
+
+    def test_dirty_returns_added_count(self):
+        table = CardTable(1 * GB)
+        added = table.dirty(10 * CARD_SIZE, 100 * MB)
+        assert added == 10
+        assert table.dirty_cards_count == 10
+        assert table.dirty_bytes == 10 * CARD_SIZE
+
+    def test_clear(self):
+        table = CardTable(1 * GB)
+        table.dirty(5 * CARD_SIZE, 100 * MB)
+        table.clear()
+        assert table.dirty_cards_count == 0
+
+    @given(st.lists(st.tuples(st.floats(0.0, 64 * 1024 * 1024),
+                              st.floats(0.0, 2e9)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_count_bounded_by_heap_cards(self, writes):
+        """Dirty cards never exceed the covered-heap card capacity nor
+        the cards spanned by the largest old-gen footprint seen (the cap
+        bounds additions at write time; shrinking `used` later does not
+        retroactively clean cards)."""
+        table = CardTable(1 * GB)
+        max_used_cards = 0
+        for n_bytes, used in writes:
+            max_used_cards = max(max_used_cards, cards_for(used))
+            table.dirty(n_bytes, used)
+            assert 0 <= table.dirty_cards_count <= table.total_cards
+            assert table.dirty_cards_count <= min(max_used_cards,
+                                                  table.total_cards)
+
+    @given(st.lists(st.floats(0.0, 16 * 1024 * 1024),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_added_deltas_sum_to_count(self, sizes):
+        table = CardTable(1 * GB)
+        total = sum(table.dirty(n, 1 * GB) for n in sizes)
+        assert total == table.dirty_cards_count
+
+
+class TestRememberedSet:
+    def test_record_spreads_over_occupied_prefix(self):
+        rs = make_remset()
+        rs.record(6, 3)
+        assert sum(rs.per_region[:3]) == 6
+        assert rs.total_cards == 6
+
+    def test_occupied(self):
+        rs = make_remset()
+        rs.record(4, 2)
+        assert rs.occupied() == 2
+
+    def test_clear_resets_cursor(self):
+        rs = make_remset()
+        rs.record(5, 3)
+        rs.clear()
+        assert rs.total_cards == 0
+        rs.record(1, 3)
+        assert rs.per_region[0] == 1  # cursor restarted at region 0
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(1, 64)),
+                    min_size=1, max_size=25),
+           st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_bytes_conserved_across_evacuation(self, records, moves):
+        """Evacuating a region moves its remembered cards to the target
+        without creating or destroying any."""
+        rs = make_remset()
+        for n_cards, occupied in records:
+            rs.record(n_cards, occupied)
+        before = rs.total_cards
+        n = rs.regions.total_regions
+        for src, dst in moves:
+            src %= n
+            dst %= n
+            moved = rs.evacuate_region(src, dst)
+            assert moved >= 0
+            if src != dst:
+                assert rs.per_region[src] == 0
+        assert rs.total_cards == before
+        assert rs.total_bytes == before * CARD_SIZE
+
+
+class TestHeapCardIntegration:
+    def test_heap_builds_card_table(self):
+        heap = make_heap()
+        assert heap.card_table.total_cards == cards_for(1 * GB)
+        assert heap.remset is None
+
+    def test_attach_remset_requires_clean_table(self):
+        heap = make_heap()
+        heap.allocate_old(0.0, 10 * MB, pinned=True)
+        heap.dirty_cards(5 * MB)
+        with pytest.raises(HeapError):
+            heap.attach_remset(make_remset())
+
+    def test_remset_tracks_card_table(self):
+        heap = make_heap()
+        heap.attach_remset(make_remset())
+        heap.allocate_old(0.0, 50 * MB, pinned=True)
+        heap.dirty_cards(5 * MB)
+        assert heap.remset.total_cards == heap.card_table.dirty_cards_count
+        heap.check_invariants(0.0)
+
+    def test_minor_collection_resets_card_structures(self):
+        """After a young scan the scalar and structural card models agree:
+        both carry only the re-dirtied (promotion-driven) write traffic."""
+        heap = make_heap()
+        heap.attach_remset(make_remset())
+        heap.allocate_old(0.0, 100 * MB, pinned=True)
+        heap.dirty_cards(32 * MB)
+        assert heap.card_table.dirty_cards_count > 0
+        heap.allocate(0.0, 64 * MB, Exponential(1.0))
+        heap.minor_collection(1.0, tenuring_threshold=4)
+        assert heap.card_table.dirty_bytes == pytest.approx(
+            cards_for(heap.dirty_card_bytes) * CARD_SIZE)
+        assert heap.remset.total_cards == heap.card_table.dirty_cards_count
+        heap.check_invariants(1.0)
+
+    def test_full_collection_clears_cards(self):
+        heap = make_heap()
+        heap.attach_remset(make_remset())
+        heap.allocate_old(0.0, 100 * MB, pinned=True)
+        heap.dirty_cards(32 * MB)
+        heap.full_collection(1.0, compacting=True)
+        assert heap.card_table.dirty_cards_count == 0
+        assert heap.remset.total_cards == 0
+        assert heap.dirty_card_bytes == 0.0
+        heap.check_invariants(1.0)
+
+    @given(st.lists(st.tuples(st.floats(1 * MB, 64 * MB),
+                              st.floats(0.0, 16 * MB)),
+                    min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold_through_alloc_dirty_collect(self, steps):
+        """Random alloc/dirty/minor sequences keep remset and card table
+        in lockstep (check_invariants enforces the sync)."""
+        heap = make_heap()
+        heap.attach_remset(make_remset())
+        heap.allocate_old(0.0, 20 * MB, pinned=True)
+        t = 0.0
+        for alloc, dirty in steps:
+            t += 1.0
+            try:
+                heap.allocate(t, alloc, Exponential(1.0))
+            except Exception:
+                heap.minor_collection(t, tenuring_threshold=4)
+            heap.dirty_cards(dirty)
+            heap.check_invariants(t)
+        heap.minor_collection(t + 1.0, tenuring_threshold=4)
+        heap.check_invariants(t + 1.0)
+
+
+class TestFidelityPricing:
+    def test_fidelity_prices_scans_off_card_table(self):
+        """With card_fidelity on, the young scan volume comes from the
+        explicit card table (card-granular), not the scalar estimate."""
+        fine = make_heap()
+        fine.card_fidelity = True
+        coarse = make_heap()
+        for heap in (fine, coarse):
+            heap.allocate_old(0.0, 100 * MB, pinned=True)
+            heap.dirty_cards(10 * MB + 1.0)   # not card-aligned
+            heap.allocate(0.0, 32 * MB, Exponential(1.0))
+        vol_fine = fine.minor_collection(1.0, tenuring_threshold=4)
+        vol_coarse = coarse.minor_collection(1.0, tenuring_threshold=4)
+        assert vol_fine.cards_scanned == pytest.approx(
+            cards_for(10 * MB + 1.0) * CARD_SIZE)
+        assert vol_coarse.cards_scanned == pytest.approx(10 * MB + 1.0)
+        # Card granularity rounds *up*: fidelity never under-prices.
+        assert vol_fine.cards_scanned >= vol_coarse.cards_scanned

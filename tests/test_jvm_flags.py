@@ -99,7 +99,7 @@ class TestFlagParsing:
 
     def test_unknown_flag_rejected(self):
         with pytest.raises(ConfigError):
-            JVMConfig.from_flags(["-XX:+UseShenandoahGC"])
+            JVMConfig.from_flags(["-XX:+UseTrainGC"])
 
     def test_overrides_win(self):
         cfg = JVMConfig.from_flags(["-Xmx8g"], seed=7)

@@ -27,7 +27,15 @@ from .errors import (
 from .gc import GCType, GC_NAMES
 from .jvm import JVM, JVMConfig, RunResult
 from .jvm.flags import baseline_config
-from .machine import CostModel, MachineTopology, PAPER_CLIENT, PAPER_SERVER
+from .machine import (
+    AsymmetricTopology,
+    CoreClass,
+    CostModel,
+    MachineTopology,
+    PAPER_CLIENT,
+    PAPER_SERVER,
+    resolve_topology,
+)
 from .units import GB, KB, MB
 
 __version__ = "1.0.0"
@@ -40,9 +48,12 @@ __all__ = [
     "GCType",
     "GC_NAMES",
     "MachineTopology",
+    "AsymmetricTopology",
+    "CoreClass",
     "CostModel",
     "PAPER_SERVER",
     "PAPER_CLIENT",
+    "resolve_topology",
     "KB",
     "MB",
     "GB",

@@ -28,7 +28,7 @@ import numpy as np
 from ..gc.registry import resolve_gc
 from ..gc.stats import ConcurrentRecord, GCLog, PauseRecord
 from ..jvm import JVM, JVMConfig, RunResult
-from ..machine.topology import PAPER_CLIENT, PAPER_SERVER
+from ..machine.topology import TOPOLOGIES
 from ..studies import CellKey
 from ..units import parse_size
 
@@ -158,7 +158,9 @@ def run_cell(cell: CellSpec, trace_dir: Optional[str] = None) -> RunResult:
 # RunResult <-> JSON codecs
 # ----------------------------------------------------------------------
 
-_TOPOLOGIES = {t.name: t for t in (PAPER_SERVER, PAPER_CLIENT)}
+# The central machine registry: every named topology (the paper pair
+# plus the asymmetric presets) decodes back to its exact instance.
+_TOPOLOGIES = TOPOLOGIES
 
 
 def _jsonable(value):
@@ -194,6 +196,8 @@ def _encode_config(config: JVMConfig) -> Dict[str, object]:
     # existed (and every legacy-collector record) keeps its exact bytes.
     if config.remset_fidelity:
         out["remset_fidelity"] = True
+    if config.gc_placement:
+        out["gc_placement"] = config.gc_placement
     return out
 
 
@@ -209,6 +213,7 @@ def _decode_config(d: Dict[str, object]) -> JVMConfig:
         misc_safepoints=d["misc_safepoints"],
         misc_safepoint_interval=d["misc_safepoint_interval"],
         remset_fidelity=d.get("remset_fidelity", False),
+        gc_placement=d.get("gc_placement", ""),
     )
     topology = _TOPOLOGIES.get(d["topology"])
     if topology is not None:

@@ -23,7 +23,9 @@ Five commands mirror the paper's workflow, one keeps it honest:
 * ``repro-serve``     — the async experiment service: submit jobs over a
   socket, served from the shared result cache (see :mod:`repro.serve`);
 * ``repro-fleet``     — GC-aware load balancing and opportunistic
-  scaling over a simulated Cassandra fleet (see :mod:`repro.fleet`).
+  scaling over a simulated Cassandra fleet (see :mod:`repro.fleet`);
+* ``repro-energy``    — energy/pause Pareto studies over collector x
+  GC placement x (asymmetric) topology (see :mod:`repro.energy`).
 
 ``repro-dacapo --audit`` additionally attaches the runtime
 :class:`~repro.lint.audit.InvariantAuditor` to the run — the simulator's
@@ -55,17 +57,29 @@ def _jvm_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--young", default=None, help="young size (-Xmn)")
     parser.add_argument("--no-tlab", action="store_true", help="disable TLABs")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--topology", default=None, metavar="NAME",
+                        help="registered machine topology (default: the "
+                             "paper's 48-core server)")
+    parser.add_argument("--placement", default=None, metavar="POLICY",
+                        help="GC-thread placement policy on asymmetric "
+                             "machines (p-cores|e-cores|adaptive)")
 
 
 def _build_config(args) -> JVMConfig:
     from .heap.tlab import TLABConfig
 
+    kw = {}
+    if getattr(args, "topology", None):
+        kw["topology"] = args.topology
+    if getattr(args, "placement", None):
+        kw["gc_placement"] = args.placement
     return JVMConfig(
         gc=args.gc,
         heap=parse_size(args.heap),
         young=parse_size(args.young) if args.young else None,
         tlab=TLABConfig(enabled=not args.no_tlab),
         seed=args.seed,
+        **kw,
     )
 
 
@@ -294,6 +308,13 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
 def lbo_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-lbo``: LBO cost-distillation studies."""
     from .analysis.lbo_cli import main
+
+    return main(argv)
+
+
+def energy_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-energy``: energy/pause Pareto studies."""
+    from .energy.cli import main
 
     return main(argv)
 

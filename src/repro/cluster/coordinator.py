@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.latency import LatencySummary
+from ..energy.model import energy_section
 from ..errors import ConfigError, ProtocolError
 from ..serve import protocol
 from ..serve.client import ServiceClient
@@ -613,6 +614,10 @@ class ClusterCoordinator:
                     "misses": misses,
                     "hit_rate": round(hits / served, 6) if served else None,
                 },
+                # Integer microjoule counters sum exactly, so the
+                # cluster-wide energy section is as bit-faithful as the
+                # merged pause histograms above.
+                "energy": energy_section(totals),
             },
             "pauses": pause_summary,
             "metrics": self.metrics.to_dict(),

@@ -1,0 +1,8 @@
+"""``python -m repro.energy`` — the ``repro-energy`` CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

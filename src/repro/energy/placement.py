@@ -1,0 +1,176 @@
+"""GC-thread placement policies for asymmetric machines.
+
+A :class:`GCPlacementPolicy` decides which core class runs each kind of
+GC work — young evacuation, old/full STW phases, concurrent phases —
+by selector: ``fast`` is the class with the highest per-thread GC
+bandwidth scale (the P-cores), ``slow`` the lowest (the E-cores).
+Resolving selectors against a topology yields per-phase bandwidth rate
+scales that :func:`apply_placement` folds into the
+:class:`~repro.machine.costs.CostModel` (``young_gc_rate`` /
+``old_gc_rate`` / ``conc_gc_rate``).
+
+On a homogeneous machine every selector resolves to the single
+``uniform`` class at scale 1.0, so any policy is an exact no-op there —
+the byte-identity guarantee the tests pin.
+
+Modelling note: pinning also bounds the GC thread pool — a pool pinned
+to an 8-core class cannot be 18 threads wide, so the HotSpot
+ergonomics are capped at the smallest STW class the policy uses
+(:func:`effective_gc_threads`; an explicit ``gc_threads`` override
+still wins). An explicit override larger than the class is allowed and
+assumed to time-slice on the class's run-queue; the energy model then
+spills the surplus onto neighbouring classes when attributing joules
+(see :mod:`repro.energy.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from ..errors import ConfigError
+from ..machine.costs import CostModel
+from ..machine.topology import CoreClass, MachineTopology
+
+#: The three work buckets a policy places (matching GC_PHASE_MAP values
+#: plus the concurrent bucket).
+WORK_KINDS = ("young", "old", "concurrent")
+
+
+@dataclass(frozen=True)
+class GCPlacementPolicy:
+    """Pin each GC work kind to a core-class selector (``fast``/``slow``)."""
+
+    name: str
+    young: str = "fast"
+    old: str = "fast"
+    concurrent: str = "fast"
+
+    def __post_init__(self) -> None:
+        for work in WORK_KINDS:
+            sel = getattr(self, work)
+            if sel not in ("fast", "slow"):
+                raise ConfigError(
+                    f"placement selector for {work!r} must be 'fast' or "
+                    f"'slow', got {sel!r}")
+
+    def selector(self, work: str) -> str:
+        if work not in WORK_KINDS:
+            raise ConfigError(f"unknown GC work kind {work!r}")
+        return getattr(self, work)
+
+    def core_class(self, topology: MachineTopology, work: str) -> CoreClass:
+        """The core class running *work* on *topology*."""
+        return (fastest_class(topology) if self.selector(work) == "fast"
+                else slowest_class(topology))
+
+    def rates(self, topology: MachineTopology) -> Tuple[float, float, float]:
+        """(young, old, concurrent) bandwidth rate scales on *topology*."""
+        return tuple(self.core_class(topology, w).gc_bw_scale
+                     for w in WORK_KINDS)
+
+
+#: Pin everything to the fast cores: shortest pauses, highest GC power.
+PIN_P = GCPlacementPolicy(name="p-cores", young="fast", old="fast",
+                          concurrent="fast")
+#: Pin everything to the efficiency cores: longest pauses, lowest GC
+#: energy.
+PIN_E = GCPlacementPolicy(name="e-cores", young="slow", old="slow",
+                          concurrent="slow")
+#: Hussein-style adaptive split: latency-critical young work on the
+#: fast cores, throughput-tolerant old and concurrent work on the
+#: efficiency cores.
+ADAPTIVE = GCPlacementPolicy(name="adaptive", young="fast", old="slow",
+                             concurrent="slow")
+
+PLACEMENTS = {p.name: p for p in (PIN_P, PIN_E, ADAPTIVE)}
+PLACEMENT_NAMES = tuple(sorted(PLACEMENTS))
+
+_ALIASES = {
+    "p": "p-cores",
+    "pcores": "p-cores",
+    "pin-p": "p-cores",
+    "e": "e-cores",
+    "ecores": "e-cores",
+    "pin-e": "e-cores",
+    "hybrid": "adaptive",
+}
+
+
+def resolve_placement(spec: Union[str, GCPlacementPolicy]) -> GCPlacementPolicy:
+    """Resolve a placement policy given by name, alias, or instance."""
+    if isinstance(spec, GCPlacementPolicy):
+        return spec
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        key = _ALIASES.get(key, key)
+        try:
+            return PLACEMENTS[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown GC placement {spec!r}; known: {list(PLACEMENT_NAMES)}"
+            ) from None
+    raise ConfigError(f"placement must be a name or GCPlacementPolicy, got {spec!r}")
+
+
+def fastest_class(topology: MachineTopology) -> CoreClass:
+    """The class with the highest GC bandwidth scale (first wins ties)."""
+    best = None
+    for cls in topology.core_class_layout():
+        if best is None or cls.gc_bw_scale > best.gc_bw_scale:
+            best = cls
+    return best
+
+
+def slowest_class(topology: MachineTopology) -> CoreClass:
+    """The class with the lowest GC bandwidth scale (first wins ties)."""
+    best = None
+    for cls in topology.core_class_layout():
+        if best is None or cls.gc_bw_scale < best.gc_bw_scale:
+            best = cls
+    return best
+
+
+def gc_thread_cap(topology: MachineTopology,
+                  policy: Union[str, GCPlacementPolicy]) -> int:
+    """The largest GC thread pool the policy's pinning permits.
+
+    Pinning GC threads to a core class means the pool must fit on that
+    class's cores; with per-phase classes (adaptive) the *smallest* STW
+    class bounds the shared pool. On a homogeneous machine this is the
+    full core count, leaving the HotSpot ergonomics untouched.
+    """
+    policy = resolve_placement(policy)
+    return min(policy.core_class(topology, w).count for w in ("young", "old"))
+
+
+def effective_gc_threads(topology: MachineTopology,
+                         policy: Optional[GCPlacementPolicy],
+                         explicit: Optional[int] = None) -> int:
+    """The STW GC thread count a run actually uses.
+
+    An explicit ``gc_threads`` wins; otherwise HotSpot's
+    ``8 + (ncpus-8) * 5/8`` ergonomics, capped by the placement's class
+    size when a policy pins the pool. The JVM and the energy model both
+    go through here so accounting matches simulation.
+    """
+    if explicit:
+        return int(explicit)
+    n = topology.cores
+    default = n if n <= 8 else int(8 + (n - 8) * 5 / 8)
+    if policy is None:
+        return default
+    return min(default, gc_thread_cap(topology, policy))
+
+
+def apply_placement(costs: CostModel,
+                    policy: Union[str, GCPlacementPolicy]) -> CostModel:
+    """Return *costs* with the policy's per-phase rate scales applied.
+
+    On a homogeneous topology all scales are exactly 1.0 and the
+    returned model prices every phase bit-identically to the input.
+    """
+    policy = resolve_placement(policy)
+    young, old, conc = policy.rates(costs.topology)
+    return replace(costs, young_gc_rate=young, old_gc_rate=old,
+                   conc_gc_rate=conc)

@@ -27,6 +27,7 @@ from .registry import (
     GCType,
     MODERN_GC_NAMES,
     TABLE8_GC_NAMES,
+    collector_class,
     create_collector,
 )
 from .serial import SerialGC
@@ -51,6 +52,7 @@ __all__ = [
     "MODERN_GC_NAMES",
     "ALL_GC_NAMES",
     "TABLE8_GC_NAMES",
+    "collector_class",
     "create_collector",
     "SerialGC",
     "ParNewGC",

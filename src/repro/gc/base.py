@@ -261,6 +261,9 @@ class Collector(ABC):
             # Serial young copying is latency-bound (sparse survivors).
             eff = self.costs.serial_young_bonus
         eff *= self._locality()
+        # Placement rate for the class running young GC (1.0 when the
+        # GC threads sit on baseline cores; exact no-op then).
+        eff *= self.costs.young_gc_rate
         copy_t = vol.copied_to_survivor / (self.costs.copy_bw * eff)
         # Promotion of *small objects* beyond what a healthy survivor
         # space would tenure is premature: it pays the overflow penalty

@@ -221,6 +221,9 @@ class G1GC(Collector):
         budget = self.pause_target * 0.3 * self.costs.copy_bw * self.costs.effective_threads(
             self._young_threads()
         )
+        # Placement: old-region evacuation rides the young pause, so the
+        # young class's rate bounds how much fits in the pause budget.
+        budget *= self.costs.young_gc_rate
         lives = batch_live_bytes(self.heap.old_cohorts, now)
         scored = []
         for c, live in zip(self.heap.old_cohorts, lives):
@@ -243,6 +246,7 @@ class G1GC(Collector):
             self.heap.old.remove(min(freed, self.heap.old.used))
         vol.old_freed += freed
         eff = self.costs.effective_threads(self._young_threads())
+        eff *= self.costs.young_gc_rate
         return copied / (self.costs.copy_bw * eff)
 
     # ------------------------------------------------------------------

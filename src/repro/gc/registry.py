@@ -115,6 +115,13 @@ def resolve_gc(name) -> GCType:
         ) from None
 
 
+def collector_class(gc_type) -> Type[Collector]:
+    """The collector class for *gc_type* (for registry introspection —
+    e.g. the energy model reads its ``parallel_young``/``parallel_full``
+    flags without instantiating a heap)."""
+    return _REGISTRY[resolve_gc(gc_type)]
+
+
 def create_collector(gc_type, heap, costs, **kwargs) -> Collector:
     """Instantiate the collector for *gc_type* on *heap* with *costs*.
 

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 from ..errors import ConfigError
 from ..gc.registry import GCType, resolve_gc
 from ..heap.tlab import TLABConfig
-from ..machine.topology import MachineTopology, PAPER_SERVER
+from ..machine.topology import MachineTopology, PAPER_SERVER, resolve_topology
 from ..units import GB, parse_size
 
 #: The paper's baseline young-generation fraction: ~5.6 GB of a ~16 GB heap.
@@ -38,8 +38,15 @@ class JVMConfig:
     gc_threads: Optional[int] = None
     pause_target: float = 0.2  #: G1 MaxGCPauseMillis (seconds here)
     n_threads: Optional[int] = None  #: mutator threads; None = one per core
-    topology: MachineTopology = PAPER_SERVER
+    #: Machine model; accepts a :class:`MachineTopology` or a registered
+    #: topology name (``"asym-hybrid"``) so campaign-cell overrides can
+    #: carry machines as plain JSON strings.
+    topology: object = PAPER_SERVER
     seed: int = 0
+    #: GC-thread placement policy name (``"p-cores"``, ``"e-cores"``,
+    #: ``"adaptive"``; see :mod:`repro.energy.placement`). Empty = the
+    #: default packed placement, byte-identical to pre-energy runs.
+    gc_placement: str = ""
     #: Emit non-GC safepoints (deoptimization, biased-lock revocation,
     #: periodic "no vm operation" — the other stop-the-world causes the
     #: paper lists in §2). Off by default so GC statistics stay pure.
@@ -55,6 +62,12 @@ class JVMConfig:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "gc", resolve_gc(self.gc))
+        object.__setattr__(self, "topology", resolve_topology(self.topology))
+        if self.gc_placement:
+            # Validate eagerly so a typo fails at config time, not at
+            # JVM construction. Lazy import: energy sits above jvm.
+            from ..energy.placement import resolve_placement
+            resolve_placement(self.gc_placement)
         object.__setattr__(self, "heap", parse_size(self.heap))
         if self.young is not None:
             object.__setattr__(self, "young", parse_size(self.young))
@@ -143,6 +156,8 @@ class JVMConfig:
                 kw["pause_target"] = int(flag.split("=", 1)[1]) / 1000.0
             elif flag.startswith("-XX:SurvivorRatio="):
                 kw["survivor_ratio"] = int(flag.split("=", 1)[1])
+            elif flag.startswith("-XX:GCPlacement="):
+                kw["gc_placement"] = flag.split("=", 1)[1]
             else:
                 m = re.match(r"^-XX:\+(\w+)$", flag)
                 if m and m.group(1) in cls._GC_FLAGS:

@@ -92,6 +92,20 @@ class JVM:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rng = rng_for(config.seed, config.gc.value, "jvm")
         self.costs = CostModel(topology=config.topology)
+        gc_threads = config.gc_threads
+        if config.gc_placement:
+            # Fold the placement policy's per-phase bandwidth scales into
+            # the cost model and cap the GC thread pool at the pinned
+            # class's size. On a homogeneous topology every scale is
+            # exactly 1.0 and the cap equals the ergonomic default, so
+            # this is byte-transparent.
+            from ..energy.placement import (apply_placement,
+                                            effective_gc_threads,
+                                            resolve_placement)
+            policy = resolve_placement(config.gc_placement)
+            self.costs = apply_placement(self.costs, policy)
+            gc_threads = effective_gc_threads(config.topology, policy,
+                                              config.gc_threads)
         self.heap = GenerationalHeap(
             HeapConfig(
                 heap_bytes=config.heap_bytes,
@@ -105,7 +119,7 @@ class JVM:
             config.gc,
             self.heap,
             self.costs,
-            gc_threads=config.gc_threads,
+            gc_threads=gc_threads,
             rng=rng_for(config.seed, config.gc.value, "collector"),
             pause_target=config.pause_target,
             remset_fidelity=config.remset_fidelity,
@@ -128,6 +142,8 @@ class JVM:
                 "tlab": config.tlab.enabled,
                 "topology": config.topology.name,
             })
+            if config.gc_placement:
+                self.tracer.meta["gc_placement"] = config.gc_placement
         self._contexts: List[MutatorContext] = []
         self._ran = False
 
@@ -251,4 +267,13 @@ class JVM:
         elif driver.is_alive:
             result.crashed = True
             result.crash_reason = "driver did not finish (deadlock?)"
+        if self.tracer.enabled and self.config.gc_placement:
+            # Post-hoc energy summary events, one per (phase, class).
+            # Gated on an explicit placement so legacy traces (and the
+            # CI byte-identity proofs) keep their exact bytes.
+            from ..energy.model import EnergyModel
+            account = EnergyModel.for_config(self.config).account_run(result)
+            for phase, core_class, uj in account.items():
+                self.tracer.energy_phase(result.execution_time, phase,
+                                         core_class, uj)
         return result

@@ -6,9 +6,39 @@ describes such a box; :class:`CostModel` converts GC *work* (bytes
 marked / copied / compacted, cards scanned...) into simulated *time*,
 including parallel efficiency with a NUMA remote-access penalty in the
 spirit of Gidra et al.'s scalability studies.
+
+:class:`AsymmetricTopology` extends the model to P/E-style hybrid
+machines: named :class:`CoreClass` groups with per-class frequency, GC
+bandwidth scaling, and active/idle power, consumed by the
+`repro.energy` placement policies and energy model (DESIGN.md §18).
 """
 
-from .topology import MachineTopology, PAPER_SERVER, PAPER_CLIENT
+from .topology import (
+    ASYM_HYBRID,
+    ASYM_SERVER,
+    AsymmetricTopology,
+    CoreClass,
+    MachineTopology,
+    PAPER_CLIENT,
+    PAPER_SERVER,
+    PAPER_SERVER_1CLASS,
+    TOPOLOGIES,
+    register_topology,
+    resolve_topology,
+)
 from .costs import CostModel
 
-__all__ = ["MachineTopology", "CostModel", "PAPER_SERVER", "PAPER_CLIENT"]
+__all__ = [
+    "MachineTopology",
+    "AsymmetricTopology",
+    "CoreClass",
+    "CostModel",
+    "PAPER_SERVER",
+    "PAPER_CLIENT",
+    "PAPER_SERVER_1CLASS",
+    "ASYM_HYBRID",
+    "ASYM_SERVER",
+    "TOPOLOGIES",
+    "register_topology",
+    "resolve_topology",
+]

@@ -73,6 +73,18 @@ class CostModel:
     #: Effective rates are multiplied by ``1 / (1 + k * heap / RAM)``.
     locality_k: float = 1.5
 
+    # -- GC-thread placement (asymmetric machines) -------------------------
+    #: Per-thread bandwidth multipliers applied when GC threads are pinned
+    #: to a core class of an :class:`~repro.machine.topology
+    #: .AsymmetricTopology` (DESIGN.md §18). ``young_gc_rate`` scales young
+    #: evacuation, ``old_gc_rate`` scales full/old STW phases priced through
+    #: :meth:`stw_duration`, ``conc_gc_rate`` scales concurrent phases. The
+    #: defaults of exactly 1.0 are byte-transparent: ``x * 1.0`` is
+    #: IEEE-754-exact, so homogeneous runs are unchanged to the bit.
+    young_gc_rate: float = 1.0
+    old_gc_rate: float = 1.0
+    conc_gc_rate: float = 1.0
+
     # -- safepoints ---------------------------------------------------------
     safepoint_base: float = 1.0 * MS          #: time-to-safepoint floor
     safepoint_per_thread: float = 0.05 * MS   #: per running mutator thread
@@ -100,6 +112,9 @@ class CostModel:
                 raise ConfigError(f"{name} must be positive")
         if not (0 <= self.promotion_floor <= 1):
             raise ConfigError("promotion_floor must be in [0, 1]")
+        for name in ("young_gc_rate", "old_gc_rate", "conc_gc_rate"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
         # Memo tables for the two pure lookups on the per-pause hot path.
         # Keys are thread counts and configured heap sizes — a handful of
         # distinct values per run. Attached via object.__setattr__ because
@@ -182,6 +197,7 @@ class CostModel:
         bookkeeping). ``rate_factor`` scales the bandwidths (locality).
         """
         eff = self.effective_threads(n_threads) * max(rate_factor, 1e-6)
+        eff *= self.old_gc_rate
         t = (
             copied / (self.copy_bw * eff)
             + marked / (self.mark_bw * eff)
@@ -208,6 +224,7 @@ class CostModel:
         (they contend with mutators for memory bandwidth).
         """
         eff = self.effective_threads(n_threads) * 0.7 * max(rate_factor, 1e-6)
+        eff *= self.conc_gc_rate
         return marked / (self.mark_bw * eff) + swept / (self.sweep_bw * eff)
 
     # ------------------------------------------------------------------

@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Set
 from ..campaign.cells import CellSpec, encode_run, run_cell
 from ..campaign.executors import CellFailure, get_executor
 from ..campaign.store import ResultStore, store_status
+from ..energy.model import ENERGY_COUNTERS, energy_section
 from ..errors import ConfigError, ProtocolError
 from ..telemetry.metrics import MetricsRegistry
 from . import protocol
@@ -288,6 +289,8 @@ class ExperimentService:
         # cluster coordinator's scatter-gather status) can exactly-merge
         # per-node percentiles instead of averaging summaries.
         pause_summary["hist"] = pauses.to_dict()
+        energy = energy_section(
+            {name: m.counter(name).value for name in ENERGY_COUNTERS})
         return {
             "protocol": PROTOCOL_VERSION,
             "draining": self._draining,
@@ -309,6 +312,7 @@ class ExperimentService:
                 "hit_rate": round(hits / served, 6) if served else None,
             },
             "pauses": pause_summary,
+            "energy": energy,
             "subscribers": len(self._subscribers),
             "metrics": m.to_dict(),
             "store": store,
@@ -609,6 +613,21 @@ class ExperimentService:
         hist = self.metrics.histogram("gc.pause_seconds")
         for pause in result.gc_log.pauses:
             hist.record(pause.duration)
+        self._observe_energy(result)
+
+    def _observe_energy(self, result) -> None:
+        """Fold a served run's energy account into the service counters.
+
+        Integer microjoules per phase — counters sum exactly, so the
+        cluster coordinator's scatter-gather totals (which add per-node
+        counters) fold service energy with the same bit-exactness as
+        the pause histograms.
+        """
+        from ..energy.model import EnergyModel
+
+        account = EnergyModel.for_config(result.config).account_run(result)
+        for phase, _core_class, uj in account.items():
+            self.metrics.counter(f"energy.{phase}_uj").inc(uj)
 
     def _check_idle(self) -> None:
         if (self._draining and not self._inflight

@@ -51,6 +51,9 @@ CLUSTER_ROUTE = "cluster_route"
 CLUSTER_STEAL = "cluster_steal"
 #: Shard result stores merged into one (scatter-gather epilogue).
 CLUSTER_MERGE = "cluster_merge"
+#: Post-hoc per-(phase, core class) energy total of a finished run
+#: (microjoules in args; emitted only for placement-pinned runs).
+ENERGY_PHASE = "energy_phase"
 #: Free-form marker (concurrent mode failure, workload milestones...).
 ANNOTATION = "annotation"
 

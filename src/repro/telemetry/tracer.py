@@ -27,8 +27,10 @@ from typing import Dict, Optional
 
 from .events import (ALLOC_SLOW, ALLOC_STALL, ANNOTATION, CLUSTER_MERGE,
                      CLUSTER_ROUTE, CLUSTER_STEAL, CONCURRENT_PHASE,
-                     CONCURRENT_RELOCATION, ENGINE_RUN, FLEET_FORCED_GC,
-                     FLEET_ROUTE, FLEET_SCALE, GC_PHASE, HEAP_RESIZE,
+                     CONCURRENT_RELOCATION, ENERGY_PHASE, ENGINE_RUN,
+                     FLEET_FORCED_GC,
+                     FLEET_ROUTE, FLEET_SCALE, GC_PHASE,
+                     HEAP_RESIZE,
                      PROMOTION, SAFEPOINT_BEGIN, SAFEPOINT_END,
                      TENURING_ADAPT, TLAB_REFILL, TraceEvent)
 from .hist import LogHistogram
@@ -93,6 +95,9 @@ class NullTracer:
         pass
 
     def cluster_merge(self, t, sources, records):
+        pass
+
+    def energy_phase(self, t, phase, core_class, uj):
         pass
 
     def annotate(self, t, label, **args):
@@ -199,6 +204,11 @@ class Tracer(NullTracer):
     def cluster_merge(self, t, sources, records):
         self._emit(t, CLUSTER_MERGE, 0.0, {
             "sources": sources, "records": records,
+        })
+
+    def energy_phase(self, t, phase, core_class, uj):
+        self._emit(t, ENERGY_PHASE, 0.0, {
+            "phase": phase, "core_class": core_class, "uj": uj,
         })
 
     def annotate(self, t, label, **args):

@@ -1,9 +1,12 @@
 """Tests for the machine model: topology and cost model."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.machine import CostModel, MachineTopology, PAPER_CLIENT, PAPER_SERVER
+from repro.machine import (AsymmetricTopology, CoreClass, CostModel,
+                           MachineTopology, PAPER_CLIENT, PAPER_SERVER)
 from repro.units import GB, MB
 
 
@@ -46,6 +49,167 @@ class TestTopology:
 
     def test_describe_mentions_cores(self):
         assert "48 cores" in PAPER_SERVER.describe()
+
+
+class TestCountValidation:
+    """Count fields must be true integers: a fractional
+    ``cores_per_numa_node`` would silently corrupt every packed-placement
+    ceiling division downstream, and ``sockets=True`` is a typo, not a
+    1-socket box."""
+
+    @pytest.mark.parametrize("field", ["sockets", "numa_nodes_per_socket",
+                                       "cores_per_numa_node"])
+    def test_float_rejected(self, field):
+        with pytest.raises(ConfigError):
+            MachineTopology(**{field: 2.5})
+
+    @pytest.mark.parametrize("field", ["sockets", "numa_nodes_per_socket",
+                                       "cores_per_numa_node"])
+    def test_integral_float_rejected_too(self, field):
+        # 6.0 == 6 but accepting it would make digests type-dependent.
+        with pytest.raises(ConfigError):
+            MachineTopology(**{field: 6.0})
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineTopology(sockets=True)
+
+    def test_string_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineTopology(cores_per_numa_node="6")
+
+    def test_index_types_normalised(self):
+        import numpy as np
+
+        topo = MachineTopology(sockets=np.int64(2))
+        assert topo.sockets == 2 and type(topo.sockets) is int
+
+    def test_core_class_count_validated_the_same_way(self):
+        with pytest.raises(ConfigError):
+            CoreClass(name="P", count=2.5)
+        with pytest.raises(ConfigError):
+            CoreClass(name="P", count=True)
+
+
+topologies = st.builds(
+    MachineTopology,
+    sockets=st.integers(1, 4),
+    numa_nodes_per_socket=st.integers(1, 4),
+    cores_per_numa_node=st.integers(1, 16),
+)
+
+
+@st.composite
+def asym_topologies(draw):
+    """A random two-class asymmetric box with counts summing to cores."""
+    base = draw(topologies)
+    cores = base.cores
+    if cores < 2:
+        classes = (CoreClass(name="P", count=cores),)
+    else:
+        p = draw(st.integers(1, cores - 1))
+        classes = (CoreClass(name="P", count=p, gc_bw_scale=1.0),
+                   CoreClass(name="E", count=cores - p, gc_bw_scale=0.6))
+    return AsymmetricTopology(
+        sockets=base.sockets,
+        numa_nodes_per_socket=base.numa_nodes_per_socket,
+        cores_per_numa_node=base.cores_per_numa_node,
+        core_classes=classes,
+    )
+
+
+class TestNodesSpannedProperties:
+    """S1: packed placement is monotone and clamped — more threads never
+    occupy fewer NUMA nodes, and no thread count spans more nodes than
+    the machine (or the class) has."""
+
+    @given(topo=topologies, n=st.integers(1, 256))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_and_clamped(self, topo, n):
+        assert 1 <= topo.nodes_spanned(n) <= topo.numa_nodes
+        assert topo.nodes_spanned(n) <= topo.nodes_spanned(n + 1)
+        # Clamp: beyond the core count the answer stops growing.
+        assert topo.nodes_spanned(topo.cores) == \
+            topo.nodes_spanned(topo.cores + 1000)
+
+    @given(topo=topologies, n=st.integers(1, 256))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_ceiling_division(self, topo, n):
+        clamped = min(n, topo.cores)
+        assert topo.nodes_spanned(n) == -(-clamped // topo.cores_per_numa_node)
+
+    @given(topo=asym_topologies(), n=st.integers(1, 256))
+    @settings(max_examples=100, deadline=None)
+    def test_per_class_monotone_and_clamped(self, topo, n):
+        for cls in topo.core_class_layout():
+            spanned = topo.class_nodes_spanned(cls.name, n)
+            assert 1 <= spanned <= topo.numa_nodes
+            assert spanned <= topo.class_nodes_spanned(cls.name, n + 1)
+            assert topo.class_nodes_spanned(cls.name, cls.count) == \
+                topo.class_nodes_spanned(cls.name, cls.count + 1000)
+
+    @given(topo=asym_topologies(), n=st.integers(1, 256))
+    @settings(max_examples=100, deadline=None)
+    def test_class_spans_at_most_one_extra_node(self, topo, n):
+        """Packing from a class offset instead of core 0 can straddle at
+        most one extra node boundary."""
+        for cls in topo.core_class_layout():
+            clamped = min(n, cls.count)
+            from_zero = topo.nodes_spanned(clamped)
+            spanned = topo.class_nodes_spanned(cls.name, n)
+            assert from_zero <= spanned <= from_zero + 1
+
+    def test_single_class_variant_equals_homogeneous(self):
+        for n in (1, 6, 7, 47, 48, 1000):
+            assert PAPER_SERVER.nodes_spanned(n) == \
+                PAPER_SERVER.class_nodes_spanned("uniform", n)
+
+    def test_class_nodes_spanned_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            PAPER_SERVER.class_nodes_spanned("uniform", 0)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigError):
+            PAPER_SERVER.class_nodes_spanned("P", 4)
+
+
+class TestAsymmetricTopology:
+    def test_needs_at_least_one_class(self):
+        with pytest.raises(ConfigError):
+            AsymmetricTopology(cores_per_numa_node=4, core_classes=())
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ConfigError):
+            AsymmetricTopology(
+                cores_per_numa_node=4,
+                core_classes=(CoreClass(name="P", count=2),
+                              CoreClass(name="P", count=2)))
+
+    def test_counts_must_sum_to_cores(self):
+        with pytest.raises(ConfigError):
+            AsymmetricTopology(
+                cores_per_numa_node=4,
+                core_classes=(CoreClass(name="P", count=3),))
+
+    def test_class_offsets_are_contiguous(self):
+        topo = AsymmetricTopology(
+            cores_per_numa_node=6,
+            core_classes=(CoreClass(name="P", count=2),
+                          CoreClass(name="E", count=4)))
+        assert topo.class_offset("P") == 0
+        assert topo.class_offset("E") == 2
+
+    def test_describe_mentions_classes(self):
+        topo = AsymmetricTopology(
+            cores_per_numa_node=4,
+            core_classes=(CoreClass(name="P", count=4, freq_ghz=3.8),))
+        assert "4xP@3.8GHz" in topo.describe()
+
+    def test_core_class_power_validation(self):
+        with pytest.raises(ConfigError):
+            CoreClass(name="P", count=1, idle_w=5.0, active_w=4.0)
+        with pytest.raises(ConfigError):
+            CoreClass(name="P", count=1, gc_bw_scale=0.0)
 
 
 class TestParallelEfficiency:
